@@ -1,0 +1,121 @@
+// pcomb-bench regenerates the paper's evaluation: every figure of Section 6
+// and the Table 1 counters, as aligned text tables (one row per thread
+// count, one column per algorithm).
+//
+// Usage:
+//
+//	pcomb-bench -figure 1a                 # one figure
+//	pcomb-bench -figure all -ops 1000000   # the whole evaluation
+//	pcomb-bench -figure t1 -threads 128    # Table 1
+//
+// Flags control the workload size, the thread-count sweep, and the
+// simulated persistence costs. Absolute Mops/s depend on the host; the
+// shapes (who wins, by what factor, where pwb counts sit) are the
+// reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pcomb/internal/harness"
+	"pcomb/internal/pmem"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext all")
+		format   = flag.String("format", "table", "output format: table, csv, or chart")
+		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
+		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
+		t1n      = flag.Int("t1-threads", 128, "thread count for Table 1")
+		pwbNs    = flag.Int("pwb-ns", pmem.DefaultPwbNs, "simulated pwb cost (ns)")
+		pfenceNs = flag.Int("pfence-ns", pmem.DefaultPfenceNs, "simulated pfence cost (ns)")
+		psyncNs  = flag.Int("psync-ns", pmem.DefaultPsyncNs, "simulated psync cost (ns)")
+		noCost   = flag.Bool("no-cost", false, "disable simulated persistence costs (counters only)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		Ops: *ops,
+		Persist: pmem.Config{
+			Mode:     pmem.ModeCount,
+			PwbNs:    *pwbNs,
+			PfenceNs: *pfenceNs,
+			PsyncNs:  *psyncNs,
+			NoCost:   *noCost,
+		},
+	}
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		cfg.Threads = append(cfg.Threads, n)
+	}
+
+	emit := func(title, metric string, series []harness.Series) {
+		switch *format {
+		case "csv":
+			harness.PrintSeriesCSV(os.Stdout, title, series)
+		case "chart":
+			harness.PrintSeriesChart(os.Stdout, title, metric, series)
+		default:
+			harness.PrintSeries(os.Stdout, title, metric, series)
+		}
+	}
+
+	runs := map[string]func(){
+		"1a": func() {
+			emit("Figure 1a: persistent AtomicFloat throughput", "Mops/s", harness.Fig1a(cfg))
+		},
+		"1b": func() {
+			emit("Figure 1b: persistent AtomicFloat", "pwbs/op", harness.Fig1b(cfg))
+		},
+		"1c": func() {
+			emit("Figure 1c: AtomicFloat throughput, psync=NOP ablation", "Mops/s", harness.Fig1c(cfg))
+		},
+		"2a": func() {
+			emit("Figure 2a: persistent queue throughput", "Mops/s", harness.Fig2a(cfg))
+		},
+		"2b": func() {
+			emit("Figure 2b: persistent queues", "pwbs/op", harness.Fig2b(cfg))
+		},
+		"2c": func() {
+			emit("Figure 2c: queue throughput with pwb=NOP (sync cost only)", "Mops/s", harness.Fig2c(cfg))
+		},
+		"3a": func() {
+			emit("Figure 3a: persistent stack throughput", "Mops/s", harness.Fig3a(cfg))
+		},
+		"3b": func() {
+			emit("Figure 3b: PBheap throughput by heap bound", "Mops/s", harness.Fig3b(cfg))
+		},
+		"4": func() {
+			emit("Figure 4: volatile AtomicFloat throughput", "Mops/s", harness.Fig4(cfg))
+		},
+		"t1": func() {
+			harness.PrintTable1(os.Stdout, harness.Table1(*t1n, cfg.Ops))
+		},
+		"ext": func() {
+			emit("Extensions ext: sharded map, sparse heap, durable-only", "Mops/s", harness.FigExt(cfg))
+		},
+	}
+
+	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext"}
+	if *figure == "all" {
+		for _, f := range order {
+			runs[f]()
+		}
+		return
+	}
+	run, ok := runs[*figure]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v or all)\n", *figure, order)
+		os.Exit(2)
+	}
+	run()
+}

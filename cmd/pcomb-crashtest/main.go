@@ -1,0 +1,108 @@
+// pcomb-crashtest fuzzes the recoverable structures with simulated
+// mid-execution crashes and verifies detectable recoverability (see
+// internal/crashtest). A silent exit code 0 means every seed passed.
+//
+// Usage:
+//
+//	pcomb-crashtest -seeds 50 -threads 8 -ops 2000 -rounds 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pcomb/internal/crashtest"
+	"pcomb/internal/hashmap"
+	"pcomb/internal/heap"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+func main() {
+	var (
+		seeds   = flag.Int("seeds", 20, "random seeds per target")
+		threads = flag.Int("threads", 8, "worker goroutines")
+		ops     = flag.Int("ops", 1000, "operation budget per thread per round")
+		rounds  = flag.Int("rounds", 3, "crash rounds per seed")
+		target  = flag.String("target", "all", "target: counter queue stack heap map all")
+	)
+	flag.Parse()
+
+	failed := false
+	report := func(name string, rep crashtest.Report, err error) {
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "FAIL %-16s %v\n", name, err)
+			return
+		}
+		fmt.Printf("ok   %-16s %s\n", name, rep)
+	}
+
+	run := func(name string, f func(seed int64) (crashtest.Report, error)) {
+		var total crashtest.Report
+		for s := int64(1); s <= int64(*seeds); s++ {
+			rep, err := f(s)
+			total.Seeds += rep.Seeds
+			total.Crashes += rep.Crashes
+			total.Recovered += rep.Recovered
+			total.OpsApplied += rep.OpsApplied
+			if err != nil {
+				report(name, total, err)
+				return
+			}
+		}
+		report(name, total, nil)
+	}
+
+	want := func(name string) bool { return *target == "all" || *target == name }
+
+	if want("counter") {
+		run("counter/PBcomb", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzCounter(false, *threads, *ops, *rounds, s)
+		})
+		run("counter/PWFcomb", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzCounter(true, *threads, *ops, *rounds, s)
+		})
+	}
+	if want("queue") {
+		run("queue/PBqueue", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzQueue(queue.Blocking,
+				queue.Options{Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
+		})
+		run("queue/PWFqueue", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzQueue(queue.WaitFree,
+				queue.Options{Capacity: 1 << 20}, *threads, *ops, *rounds, s)
+		})
+	}
+	if want("stack") {
+		run("stack/PBstack", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzStack(stack.Blocking,
+				stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
+		})
+		run("stack/PWFstack", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzStack(stack.WaitFree,
+				stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
+		})
+	}
+	if want("map") {
+		run("map/PBmap", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzMap(hashmap.Blocking, 8, *threads, *ops, *rounds, s)
+		})
+		run("map/PWFmap", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzMap(hashmap.WaitFree, 8, *threads, *ops, *rounds, s)
+		})
+	}
+	if want("heap") {
+		run("heap/PBheap", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzHeap(heap.Blocking, 1024, *threads, *ops, *rounds, s)
+		})
+		run("heap/PWFheap", func(s int64) (crashtest.Report, error) {
+			return crashtest.FuzzHeap(heap.WaitFree, 1024, *threads, *ops, *rounds, s)
+		})
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package pcomb_test
+
+import (
+	"fmt"
+
+	"pcomb"
+)
+
+// The canonical lifecycle: operate, crash, re-open, recover.
+func Example() {
+	sys := pcomb.New(pcomb.Options{CrashTesting: true, NoCost: true})
+	q := sys.NewQueue("jobs", 2, pcomb.Blocking)
+	q.Enqueue(0, 10)
+	q.Enqueue(0, 20)
+	q.Dequeue(1)
+
+	sys.Crash(pcomb.DropUnfenced, 1)
+
+	q = sys.NewQueue("jobs", 2, pcomb.Blocking)
+	for tid := 0; tid < 2; tid++ {
+		q.Recover(tid)
+	}
+	v, _ := q.Dequeue(0)
+	fmt.Println(v)
+	// Output: 20
+}
+
+func ExampleSystem_NewStack() {
+	sys := pcomb.New(pcomb.Options{NoCost: true})
+	st := sys.NewStack("undo", 1, pcomb.WaitFree)
+	st.Push(0, 1)
+	st.Push(0, 2)
+	v, _ := st.Pop(0)
+	fmt.Println(v)
+	// Output: 2
+}
+
+func ExampleSystem_NewHeap() {
+	sys := pcomb.New(pcomb.Options{NoCost: true})
+	h := sys.NewHeap("deadlines", 1, pcomb.Blocking, 64)
+	h.Insert(0, 30)
+	h.Insert(0, 10)
+	h.Insert(0, 20)
+	for {
+		k, ok := h.DeleteMin(0)
+		if !ok {
+			break
+		}
+		fmt.Println(k)
+	}
+	// Output:
+	// 10
+	// 20
+	// 30
+}
+
+func ExampleSystem_NewMap() {
+	sys := pcomb.New(pcomb.Options{NoCost: true})
+	m := sys.NewMap("kv", 1, pcomb.Blocking)
+	m.Put(0, 7, 70)
+	v, ok := m.Get(0, 7)
+	fmt.Println(v, ok)
+	m.Delete(0, 7)
+	_, ok = m.Get(0, 7)
+	fmt.Println(ok)
+	// Output:
+	// 70 true
+	// false
+}
+
+// maxObj keeps the largest value seen: any sequential object becomes
+// recoverable and concurrent through NewObject.
+type maxObj struct{}
+
+func (maxObj) StateWords() int    { return 1 }
+func (maxObj) Init(s pcomb.State) { s.Store(0, 0) }
+func (maxObj) Apply(e *pcomb.Env, r *pcomb.Request) {
+	cur := e.State.Load(0)
+	if r.A0 > cur {
+		e.State.Store(0, r.A0)
+	}
+	r.Ret = cur
+}
+
+func ExampleSystem_NewObject() {
+	sys := pcomb.New(pcomb.Options{NoCost: true})
+	m := sys.NewObject("max", 1, pcomb.WaitFree, maxObj{})
+	m.Invoke(0, 1, 42, 0)
+	m.Invoke(0, 1, 17, 0)
+	fmt.Println(m.State().Load(0))
+	// Output: 42
+}
+
+func ExampleSystem_Stats() {
+	sys := pcomb.New(pcomb.Options{NoCost: true})
+	q := sys.NewQueue("q", 1, pcomb.Blocking)
+	sys.ResetStats()
+	q.Enqueue(0, 1)
+	s := sys.Stats()
+	fmt.Println(s.Pwbs > 0, s.Psyncs > 0)
+	// Output: true true
+}

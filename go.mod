@@ -1,0 +1,3 @@
+module pcomb
+
+go 1.22

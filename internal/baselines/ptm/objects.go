@@ -1,0 +1,142 @@
+package ptm
+
+import "math"
+
+// The PTM-backed data structures express each operation as a transaction
+// over the PTM's word array, which is how the paper's PTM-based queue and
+// stack baselines are built on their respective systems.
+
+// AtomicFloat is the Figure 1 benchmark object on a PTM: word 0 holds the
+// float bits.
+type AtomicFloat struct{ P *PTM }
+
+// NewAtomicFloat initializes word 0 (quiescent).
+func NewAtomicFloat(p *PTM, initial float64) *AtomicFloat {
+	p.Home().Store(0, math.Float64bits(initial))
+	return &AtomicFloat{P: p}
+}
+
+// Apply multiplies the value by float64frombits(k) and returns the bits of
+// the value read.
+func (a *AtomicFloat) Apply(tid int, k uint64) uint64 {
+	return a.P.Update(tid, func(tx *Tx) uint64 {
+		old := tx.Load(0)
+		tx.Store(0, math.Float64bits(math.Float64frombits(old)*math.Float64frombits(k)))
+		return old
+	})
+}
+
+// Queue word layout: [0]=head, [1]=tail, [2]=bump, then 2-word nodes
+// [value,next]. Word index 0 doubles as nil since no node lives there.
+// Slot 3 is the permanent first dummy node.
+type Queue struct {
+	P     *PTM
+	words int
+}
+
+// Empty is the Dequeue result signalling an empty queue.
+const Empty = ^uint64(0)
+
+// NewQueue initializes the queue transactionally so even the initial state
+// costs what the PTM charges (as the paper's baselines pay it).
+func NewQueue(p *PTM, words int) *Queue {
+	q := &Queue{P: p, words: words}
+	p.Update(0, func(tx *Tx) uint64 {
+		if tx.Load(2) != 0 {
+			return 0 // already initialized (re-open)
+		}
+		tx.Store(3, 0) // dummy value
+		tx.Store(4, 0) // dummy next
+		tx.Store(0, 3) // head
+		tx.Store(1, 3) // tail
+		tx.Store(2, 5) // bump
+		return 0
+	})
+	return q
+}
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(tid int, v uint64) {
+	q.P.Update(tid, func(tx *Tx) uint64 {
+		idx := int(tx.Load(2))
+		if idx+2 > q.words {
+			panic("ptm queue: arena exhausted")
+		}
+		tx.Store(idx, v)
+		tx.Store(idx+1, 0)
+		tail := int(tx.Load(1))
+		tx.Store(tail+1, uint64(idx))
+		tx.Store(1, uint64(idx))
+		tx.Store(2, uint64(idx+2))
+		return 0
+	})
+}
+
+// Dequeue removes the oldest value.
+func (q *Queue) Dequeue(tid int) (uint64, bool) {
+	r := q.P.Update(tid, func(tx *Tx) uint64 {
+		head := int(tx.Load(0))
+		next := int(tx.Load(head + 1))
+		if next == 0 {
+			return Empty
+		}
+		v := tx.Load(next)
+		tx.Store(0, uint64(next))
+		return v
+	})
+	if r == Empty {
+		return 0, false
+	}
+	return r, true
+}
+
+// Stack word layout: [0]=top, [1]=bump, then 2-word nodes [value,next].
+type Stack struct {
+	P     *PTM
+	words int
+}
+
+// NewStack initializes the stack.
+func NewStack(p *PTM, words int) *Stack {
+	s := &Stack{P: p, words: words}
+	p.Update(0, func(tx *Tx) uint64 {
+		if tx.Load(1) == 0 {
+			tx.Store(0, 0)
+			tx.Store(1, 2)
+		}
+		return 0
+	})
+	return s
+}
+
+// Push pushes v.
+func (s *Stack) Push(tid int, v uint64) {
+	s.P.Update(tid, func(tx *Tx) uint64 {
+		idx := int(tx.Load(1))
+		if idx+2 > s.words {
+			panic("ptm stack: arena exhausted")
+		}
+		tx.Store(idx, v)
+		tx.Store(idx+1, tx.Load(0))
+		tx.Store(0, uint64(idx))
+		tx.Store(1, uint64(idx+2))
+		return 0
+	})
+}
+
+// Pop removes the top value.
+func (s *Stack) Pop(tid int) (uint64, bool) {
+	r := s.P.Update(tid, func(tx *Tx) uint64 {
+		top := int(tx.Load(0))
+		if top == 0 {
+			return Empty
+		}
+		v := tx.Load(top)
+		tx.Store(0, tx.Load(top+1))
+		return v
+	})
+	if r == Empty {
+		return 0, false
+	}
+	return r, true
+}

@@ -1,0 +1,553 @@
+// Package ptm reimplements, over the shared pmem substrate, the persistence
+// and synchronization *design decisions* of the persistent transactional
+// systems and universal constructions the paper benchmarks against:
+//
+//   - Undo — PMDK-style undo logging: per-write log entry persisted before
+//     the in-place update, all under a global lock.
+//   - Redo — redo logging: the write-set is persisted to a log, fenced,
+//     then applied home, all under a global lock.
+//   - OneFile — redo logging with wait-free bookkeeping: a versioned
+//     descriptor CAS serializes update transactions and every commit
+//     persists the descriptor and each log entry eagerly (the flush
+//     amplification OneFile pays for wait-freedom).
+//   - RedoOpt — the combining-style universal construction of Correia et
+//     al.: operations are announced, a combiner executes the whole batch
+//     and persists one aggregated redo record (few pwbs/op — like PBcomb),
+//     but every operation first passes through a shared volatile order
+//     queue (the synchronization overhead Figure 2c exposes).
+//   - CXPTM — like RedoOpt, plus a full replica copy persisted per round
+//     (the CX replica scheme) and a consensus CAS per operation.
+//   - RomulusLog / RomulusLR — two full copies of the data: updates are
+//     applied and persisted twice (main, fence, back).
+//
+// These are acknowledged reimplementations "in the style of" each system —
+// faithful to where updates land, what gets flushed and fenced, and how
+// threads synchronize, which is what the paper's figures compare.
+package ptm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pcomb/internal/pmem"
+	"pcomb/internal/prim"
+)
+
+// Kind selects the PTM flavor.
+type Kind int
+
+// PTM flavors (see package comment).
+const (
+	Undo Kind = iota
+	Redo
+	OneFile
+	RedoOpt
+	CXPTM
+	CXPUC
+	RomulusLog
+	RomulusLR
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Undo:
+		return "PMDK"
+	case Redo:
+		return "Redo"
+	case OneFile:
+		return "OneFile"
+	case RedoOpt:
+		return "RedoOpt"
+	case CXPTM:
+		return "CX-PTM"
+	case CXPUC:
+		return "CX-PUC"
+	case RomulusLog:
+		return "RomulusLog"
+	case RomulusLR:
+		return "RomulusLR"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// combining reports whether the flavor batches announced operations.
+func (k Kind) combining() bool { return k == RedoOpt || k == CXPTM }
+
+// wentry is one write-set entry.
+type wentry struct {
+	addr int
+	val  uint64
+}
+
+// Tx is the transactional access handle passed to operation closures.
+// Reads see earlier writes of the same transaction; writes are buffered
+// until commit.
+type Tx struct {
+	p      *PTM
+	writes []wentry
+}
+
+// Load reads word addr, observing the transaction's own writes.
+func (t *Tx) Load(addr int) uint64 {
+	for i := len(t.writes) - 1; i >= 0; i-- {
+		if t.writes[i].addr == addr {
+			return t.writes[i].val
+		}
+	}
+	return t.p.home.Load(addr)
+}
+
+// Store buffers a write of val to word addr.
+func (t *Tx) Store(addr int, val uint64) {
+	t.writes = append(t.writes, wentry{addr, val})
+}
+
+// annSlot is a combining announce cell (RedoOpt/CXPTM).
+type annSlot struct {
+	f   func(tx *Tx) uint64
+	ret uint64
+	tkt atomic.Uint64 // odd = pending
+	_   [4]uint64
+}
+
+// PTM is one persistent-transactional-memory instance.
+type PTM struct {
+	h    *pmem.Heap
+	kind Kind
+	n    int
+
+	home *pmem.Region // the object's persistent words
+	back *pmem.Region // Romulus back copy / CX replica
+	log  *pmem.Region // [count, (addr,val)*]
+
+	lock  atomic.Uint32
+	curTx atomic.Uint64 // OneFile descriptor (versioned)
+	desc  *pmem.Region  // OneFile persistent descriptor word
+
+	slots  []annSlot
+	orderQ []uint64 // volatile shared order queue (CAS-bumped), models CX/RedoOpt queue
+	orderT atomic.Uint64
+
+	ctxs []*pmem.Ctx
+	txs  []*Tx
+	fs   []pmem.FlushSet
+
+	// Coherence hot spots: the lock/descriptor, the order-queue tail, the
+	// announcement slots, and the home array (transferred between
+	// successive lock holders).
+	hotLock  pmem.HotWord
+	hotOrder pmem.HotWord
+	hotHome  pmem.HotWord
+	hotSlots []pmem.HotWord
+}
+
+const logCap = 1 << 14 // write-set entries per combined commit
+
+// Romulus state-flag values (stored in the desc region's word 0).
+const (
+	romIdle uint64 = iota
+	romMutating
+	romCopying
+)
+
+// New creates (or re-opens) a PTM of the given kind over words persistent
+// words for n threads.
+func New(h *pmem.Heap, name string, kind Kind, n, words int) *PTM {
+	p := &PTM{h: h, kind: kind, n: n}
+	p.home = h.AllocOrGet(name+"/ptm.home", words)
+	p.back = h.AllocOrGet(name+"/ptm.back", words)
+	p.log = h.AllocOrGet(name+"/ptm.log", 1+2*logCap)
+	p.desc = h.AllocOrGet(name+"/ptm.desc", pmem.LineWords)
+	p.slots = make([]annSlot, n)
+	p.hotSlots = make([]pmem.HotWord, n)
+	p.orderQ = make([]uint64, 1<<16)
+	p.ctxs = make([]*pmem.Ctx, n)
+	p.txs = make([]*Tx, n)
+	p.fs = make([]pmem.FlushSet, n)
+	for i := 0; i < n; i++ {
+		p.ctxs[i] = h.NewCtx()
+		p.txs[i] = &Tx{p: p}
+	}
+	return p
+}
+
+// Recover restores transactional consistency after a crash, per flavor:
+// redo flavors replay a durably committed log; the undo flavor rolls an
+// interrupted transaction back; Romulus resolves its state flag by copying
+// between the two replicas. Fresh instances are no-ops (all-zero regions).
+// Call it after re-opening the PTM on a recovered heap; like the systems it
+// models, the PTM guarantees durable linearizability, not detectability.
+func (p *PTM) Recover() {
+	ctx := p.ctxs[0]
+	switch p.kind {
+	case Redo, OneFile, RedoOpt, CXPTM:
+		count := int(p.log.Load(0))
+		for i := 0; i < count && i < logCap; i++ {
+			addr := int(p.log.Load(1 + 2*i))
+			val := p.log.Load(2 + 2*i)
+			if addr >= 0 && addr < p.home.Len() {
+				p.home.Store(addr, val)
+				ctx.PWBLine(p.home, addr)
+			}
+		}
+		if count != 0 {
+			ctx.PFence()
+			p.log.Store(0, 0)
+			ctx.PWBLine(p.log, 0)
+			ctx.PSync()
+		}
+	case Undo:
+		count := int(p.log.Load(0))
+		for i := count - 1; i >= 0; i-- {
+			addr := int(p.log.Load(1 + 2*i))
+			old := p.log.Load(2 + 2*i)
+			if addr >= 0 && addr < p.home.Len() {
+				p.home.Store(addr, old)
+				ctx.PWBLine(p.home, addr)
+			}
+		}
+		if count != 0 {
+			ctx.PFence()
+			p.log.Store(0, 0)
+			ctx.PWBLine(p.log, 0)
+			ctx.PSync()
+		}
+	case RomulusLog, RomulusLR, CXPUC:
+		switch p.desc.Load(0) {
+		case romMutating: // main possibly torn: restore from back
+			p.home.CopyWords(0, p.back, 0, p.home.Len())
+			ctx.PWB(p.home, 0, p.home.Len())
+		case romCopying: // main complete: redo the mirror
+			p.back.CopyWords(0, p.home, 0, p.back.Len())
+			ctx.PWB(p.back, 0, p.back.Len())
+		default:
+			return
+		}
+		ctx.PFence()
+		p.desc.Store(0, romIdle)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PSync()
+	}
+}
+
+// Home returns the persistent word array (for initialization and
+// quiescent inspection).
+func (p *PTM) Home() *pmem.Region { return p.home }
+
+// Kind returns the flavor.
+func (p *PTM) Kind() Kind { return p.kind }
+
+// Name implements the benchmark naming convention.
+func (p *PTM) Name() string { return p.kind.String() }
+
+// Update runs one update transaction and returns its result.
+func (p *PTM) Update(tid int, f func(tx *Tx) uint64) uint64 {
+	if p.kind.combining() {
+		return p.updateCombining(tid, f)
+	}
+	switch p.kind {
+	case OneFile:
+		return p.updateOneFile(tid, f)
+	case CXPUC:
+		return p.updateCXPUC(tid, f)
+	default:
+		return p.updateLocked(tid, f)
+	}
+}
+
+func (p *PTM) acquire(tid int) {
+	p.h.Touch(&p.hotLock, tid)
+	for !p.lock.CompareAndSwap(0, 1) {
+		prim.Pause()
+	}
+	p.h.Touch(&p.hotHome, tid)
+}
+
+func (p *PTM) release() { p.lock.Store(0) }
+
+// updateLocked is the Undo / Redo / Romulus path: one global lock, one
+// transaction at a time.
+func (p *PTM) updateLocked(tid int, f func(tx *Tx) uint64) uint64 {
+	p.acquire(tid)
+	defer p.release()
+	tx := p.txs[tid]
+	tx.writes = tx.writes[:0]
+	ret := f(tx)
+	p.commitLocked(tid, tx)
+	return ret
+}
+
+func (p *PTM) commitLocked(tid int, tx *Tx) {
+	ctx := p.ctxs[tid]
+	switch p.kind {
+	case Undo:
+		// Persist an undo entry per write, then update home in place.
+		for i, w := range tx.writes {
+			p.log.Store(1+2*i, uint64(w.addr))
+			p.log.Store(2+2*i, p.home.Load(w.addr))
+			ctx.PWB(p.log, 1+2*i, 2)
+			p.log.Store(0, uint64(i+1))
+			ctx.PWBLine(p.log, 0)
+			ctx.PFence()
+			p.home.Store(w.addr, w.val)
+			ctx.PWBLine(p.home, w.addr)
+		}
+		ctx.PSync()
+		p.log.Store(0, 0)
+		ctx.PWBLine(p.log, 0)
+		ctx.PSync()
+	case Redo:
+		// Persist the whole redo record, fence, then apply home.
+		for i, w := range tx.writes {
+			p.log.Store(1+2*i, uint64(w.addr))
+			p.log.Store(2+2*i, w.val)
+			ctx.PWB(p.log, 1+2*i, 2)
+		}
+		p.log.Store(0, uint64(len(tx.writes)))
+		ctx.PWBLine(p.log, 0)
+		ctx.PFence()
+		fs := &p.fs[tid]
+		fs.Reset(p.home)
+		for _, w := range tx.writes {
+			p.home.Store(w.addr, w.val)
+			fs.Add(w.addr, 1)
+		}
+		fs.Flush(ctx)
+		ctx.PSync()
+		p.log.Store(0, 0)
+		ctx.PWBLine(p.log, 0)
+		ctx.PSync()
+	case RomulusLog, RomulusLR:
+		// Romulus' state-flag protocol: MUTATING while main is updated,
+		// COPYING while the back copy is mirrored, IDLE when consistent.
+		p.desc.Store(0, romMutating)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PFence()
+		fs := &p.fs[tid]
+		fs.Reset(p.home)
+		for _, w := range tx.writes {
+			p.home.Store(w.addr, w.val)
+			fs.Add(w.addr, 1)
+		}
+		fs.Flush(ctx)
+		ctx.PFence()
+		p.desc.Store(0, romCopying)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PFence()
+		fs.Reset(p.back)
+		for _, w := range tx.writes {
+			p.back.Store(w.addr, w.val)
+			fs.Add(w.addr, 1)
+		}
+		fs.Flush(ctx)
+		p.desc.Store(0, romIdle)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PSync()
+	default:
+		panic("ptm: bad locked kind")
+	}
+}
+
+// updateOneFile serializes through a versioned descriptor CAS and flushes
+// eagerly per log entry, as OneFile's wait-free commit does.
+func (p *PTM) updateOneFile(tid int, f func(tx *Tx) uint64) uint64 {
+	ctx := p.ctxs[tid]
+	tx := p.txs[tid]
+	for {
+		p.h.Touch(&p.hotLock, tid)
+		cur := p.curTx.Load()
+		if cur%2 == 1 { // another transaction committing: help-wait
+			prim.Pause()
+			continue
+		}
+		if !p.curTx.CompareAndSwap(cur, cur+1) {
+			continue
+		}
+		p.h.Touch(&p.hotHome, tid)
+		tx.writes = tx.writes[:0]
+		ret := f(tx)
+		// Persistent descriptor, then each entry, flushed eagerly.
+		p.desc.Store(0, cur+1)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PFence()
+		for i, w := range tx.writes {
+			p.log.Store(1+2*i, uint64(w.addr))
+			p.log.Store(2+2*i, w.val)
+			ctx.PWB(p.log, 1+2*i, 2)
+			ctx.PFence()
+		}
+		p.log.Store(0, uint64(len(tx.writes)))
+		ctx.PWBLine(p.log, 0)
+		ctx.PFence()
+		fs := &p.fs[tid]
+		fs.Reset(p.home)
+		for _, w := range tx.writes {
+			p.home.Store(w.addr, w.val)
+			fs.Add(w.addr, 1)
+		}
+		fs.Flush(ctx)
+		ctx.PSync()
+		p.log.Store(0, 0)
+		ctx.PWBLine(p.log, 0)
+		p.desc.Store(0, cur+2)
+		ctx.PWBLine(p.desc, 0)
+		ctx.PSync()
+		p.curTx.Store(cur + 2)
+		return ret
+	}
+}
+
+// updateCXPUC models the CX persistent universal construction without the
+// PTM front end: every operation individually wins a consensus, applies on
+// one replica, mirrors to the other, and drains twice — no batching at all,
+// which is why CX-PUC trails CX-PTM in the paper's Figure 2a.
+func (p *PTM) updateCXPUC(tid int, f func(tx *Tx) uint64) uint64 {
+	ctx := p.ctxs[tid]
+	for { // per-op consensus
+		cur := p.curTx.Load()
+		if p.curTx.CompareAndSwap(cur, cur+1) {
+			break
+		}
+		prim.Pause()
+	}
+	p.acquire(tid)
+	defer p.release()
+	tx := p.txs[tid]
+	tx.writes = tx.writes[:0]
+	ret := f(tx)
+	// Replica discipline as in Romulus: the state flag tells recovery which
+	// copy is whole.
+	p.desc.Store(0, romMutating)
+	ctx.PWBLine(p.desc, 0)
+	ctx.PFence()
+	fs := &p.fs[tid]
+	fs.Reset(p.home)
+	for _, w := range tx.writes {
+		p.home.Store(w.addr, w.val)
+		fs.Add(w.addr, 1)
+	}
+	fs.Flush(ctx)
+	ctx.PFence()
+	p.desc.Store(0, romCopying)
+	ctx.PWBLine(p.desc, 0)
+	ctx.PSync()
+	fs.Reset(p.back)
+	for _, w := range tx.writes {
+		p.back.Store(w.addr, w.val)
+		fs.Add(w.addr, 1)
+	}
+	fs.Flush(ctx)
+	p.desc.Store(0, romIdle)
+	ctx.PWBLine(p.desc, 0)
+	ctx.PSync()
+	return ret
+}
+
+// updateCombining is the RedoOpt / CXPTM path: announce, pass through the
+// shared order queue, and either combine or wait.
+func (p *PTM) updateCombining(tid int, f func(tx *Tx) uint64) uint64 {
+	s := &p.slots[tid]
+	s.f = f
+	tkt := s.tkt.Load() + 1
+	// The shared volatile order queue: one CAS-bumped cell per operation.
+	// This is the synchronization hot spot RedoOpt and CX inherit.
+	p.h.Touch(&p.hotOrder, tid)
+	pos := p.orderT.Add(1) - 1
+	atomic.StoreUint64(&p.orderQ[pos%uint64(len(p.orderQ))], uint64(tid)<<32|tkt)
+	s.tkt.Store(tkt)
+	if p.kind == CXPTM {
+		// CX additionally decides each operation's position with a
+		// consensus object: one more contended CAS per operation.
+		for {
+			cur := p.curTx.Load()
+			if p.curTx.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+	}
+	prim.Pause() // let announcements accumulate into a combining batch
+
+	for {
+		if s.tkt.Load() == tkt+1 {
+			return s.ret
+		}
+		p.h.Touch(&p.hotLock, tid)
+		if p.lock.CompareAndSwap(0, 1) {
+			p.combine(tid)
+			p.lock.Store(0)
+			if s.tkt.Load() == tkt+1 {
+				return s.ret
+			}
+			continue
+		}
+		prim.Pause()
+	}
+}
+
+// combine executes every announced pending operation, then persists one
+// aggregated redo record and the touched home lines (RedoOpt), plus — for
+// CXPTM — a full persisted replica copy.
+func (p *PTM) combine(tid int) {
+	ctx := p.ctxs[tid]
+	tx := p.txs[tid]
+	tx.writes = tx.writes[:0]
+	type served struct {
+		slot *annSlot
+		tkt  uint64
+	}
+	var batch []served
+	for i := range p.slots {
+		sl := &p.slots[i]
+		t := sl.tkt.Load()
+		if t%2 == 1 {
+			p.h.Touch(&p.hotSlots[i], tid)
+			sl.ret = sl.f(tx)
+			batch = append(batch, served{sl, t})
+		}
+	}
+	p.h.Touch(&p.hotHome, tid)
+	if len(batch) == 0 {
+		return
+	}
+	if len(tx.writes) > logCap {
+		panic("ptm: combined write-set exceeds log capacity")
+	}
+	lfs := &p.fs[tid]
+	lfs.Reset(p.log)
+	for i, w := range tx.writes {
+		p.log.Store(1+2*i, uint64(w.addr))
+		p.log.Store(2+2*i, w.val)
+		lfs.Add(1+2*i, 2)
+	}
+	lfs.Flush(ctx)
+	p.log.Store(0, uint64(len(tx.writes)))
+	ctx.PWBLine(p.log, 0)
+	ctx.PFence()
+	fs := &p.fs[tid]
+	fs.Reset(p.home)
+	for _, w := range tx.writes {
+		p.home.Store(w.addr, w.val)
+		fs.Add(w.addr, 1)
+	}
+	fs.Flush(ctx)
+	if p.kind == CXPTM {
+		// Mirror the round's updates into the second replica and persist
+		// them too (the CX replica scheme, at touched-line granularity so
+		// large arenas do not degenerate into full memcpys), then pay one
+		// extra drain for the replica switch.
+		fs.Reset(p.back)
+		for _, w := range tx.writes {
+			p.back.Store(w.addr, w.val)
+			fs.Add(w.addr, 1)
+		}
+		fs.Flush(ctx)
+		ctx.PSync()
+	}
+	ctx.PSync()
+	p.log.Store(0, 0)
+	ctx.PWBLine(p.log, 0)
+	ctx.PSync()
+	for _, b := range batch {
+		b.slot.tkt.Store(b.tkt + 1)
+	}
+}

@@ -1,0 +1,323 @@
+package ptm
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+func kinds() []Kind {
+	return []Kind{Undo, Redo, OneFile, RedoOpt, CXPTM, CXPUC, RomulusLog, RomulusLR}
+}
+
+func newHeap() *pmem.Heap {
+	return pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+}
+
+func TestKindNames(t *testing.T) {
+	want := []string{"PMDK", "Redo", "OneFile", "RedoOpt", "CX-PTM", "CX-PUC", "RomulusLog", "RomulusLR"}
+	for i, k := range kinds() {
+		if k.String() != want[i] {
+			t.Fatalf("kind %d name %q, want %q", i, k.String(), want[i])
+		}
+	}
+}
+
+func TestCounterAllKinds(t *testing.T) {
+	const n, per = 6, 200
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			h := newHeap()
+			p := New(h, "c", k, n, 64)
+			var wg sync.WaitGroup
+			rets := make([][]uint64, n)
+			for tid := 0; tid < n; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						r := p.Update(tid, func(tx *Tx) uint64 {
+							old := tx.Load(0)
+							tx.Store(0, old+1)
+							return old
+						})
+						rets[tid] = append(rets[tid], r)
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if got := p.Home().Load(0); got != n*per {
+				t.Fatalf("counter = %d, want %d", got, n*per)
+			}
+			seen := map[uint64]bool{}
+			for _, rs := range rets {
+				for _, r := range rs {
+					if seen[r] {
+						t.Fatalf("duplicate fetch&add return %d", r)
+					}
+					seen[r] = true
+				}
+			}
+		})
+	}
+}
+
+func TestTxReadYourWrites(t *testing.T) {
+	h := newHeap()
+	p := New(h, "c", Redo, 1, 8)
+	got := p.Update(0, func(tx *Tx) uint64 {
+		tx.Store(3, 42)
+		tx.Store(3, 43)
+		return tx.Load(3)
+	})
+	if got != 43 {
+		t.Fatalf("read-your-writes = %d", got)
+	}
+	if p.Home().Load(3) != 43 {
+		t.Fatal("commit did not apply last write")
+	}
+}
+
+func TestAtomicFloat(t *testing.T) {
+	const n, per = 4, 100
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			h := newHeap()
+			af := NewAtomicFloat(New(h, "af", k, n, 8), 1)
+			kk := math.Float64bits(1.0000001)
+			var wg sync.WaitGroup
+			for tid := 0; tid < n; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						af.Apply(tid, kk)
+					}
+				}(tid)
+			}
+			wg.Wait()
+			got := math.Float64frombits(af.P.Home().Load(0))
+			want := math.Pow(1.0000001, n*per)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("value %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			h := newHeap()
+			q := NewQueue(New(h, "q", k, 2, 1<<12), 1<<12)
+			for i := uint64(1); i <= 30; i++ {
+				q.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= 30; i++ {
+				got, ok := q.Dequeue(0)
+				if !ok || got != i {
+					t.Fatalf("dequeue = %d,%v want %d", got, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestQueueConcurrentMultiset(t *testing.T) {
+	const n, per = 4, 100
+	h := newHeap()
+	q := NewQueue(New(h, "q", RedoOpt, n, 1<<16), 1<<16)
+	var consumed sync.Map
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i)+1)
+				if v, ok := q.Dequeue(tid); ok {
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate %x", v)
+						return
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	total := 0
+	consumed.Range(func(_, _ any) bool { total++; return true })
+	for {
+		if _, ok := q.Dequeue(0); !ok {
+			break
+		}
+		total++
+	}
+	if total != n*per {
+		t.Fatalf("consumed+drained = %d, want %d", total, n*per)
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			h := newHeap()
+			s := NewStack(New(h, "s", k, 2, 1<<12), 1<<12)
+			for i := uint64(1); i <= 30; i++ {
+				s.Push(0, i)
+			}
+			for i := uint64(30); i >= 1; i-- {
+				got, ok := s.Pop(0)
+				if !ok || got != i {
+					t.Fatalf("pop = %d,%v want %d", got, ok, i)
+				}
+			}
+			if _, ok := s.Pop(0); ok {
+				t.Fatal("stack should be empty")
+			}
+		})
+	}
+}
+
+// TestPwbOrdering verifies the flavor cost hierarchy the paper relies on:
+// per-op-logging PTMs issue (amortized) more pwbs per operation than the
+// combining flavor RedoOpt.
+func TestPwbOrdering(t *testing.T) {
+	const n, per = 4, 100
+	count := func(k Kind) float64 {
+		h := newHeap()
+		p := New(h, "c", k, n, 64)
+		h.ResetStats()
+		var wg sync.WaitGroup
+		for tid := 0; tid < n; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					p.Update(tid, func(tx *Tx) uint64 {
+						old := tx.Load(0)
+						tx.Store(0, old+1)
+						return old
+					})
+				}
+			}(tid)
+		}
+		wg.Wait()
+		return float64(h.Stats().Pwbs) / float64(n*per)
+	}
+	redo := count(Redo)
+	onefile := count(OneFile)
+	if onefile < redo {
+		t.Fatalf("OneFile pwbs/op %.2f < Redo %.2f: eager flushing missing", onefile, redo)
+	}
+	if redo < 3 {
+		t.Fatalf("Redo pwbs/op %.2f implausibly low", redo)
+	}
+}
+
+// counterTx is the shared increment transaction used by the recovery tests.
+func counterTx(tx *Tx) uint64 {
+	old := tx.Load(0)
+	tx.Store(0, old+1)
+	return old
+}
+
+// TestRecoveryCrashSweep crashes at every persistence event inside one
+// transaction for every PTM flavor and verifies durable linearizability:
+// the recovered counter is either opsBefore (txn not committed) or
+// opsBefore+1 (committed) — never torn, never rolled back further.
+func TestRecoveryCrashSweep(t *testing.T) {
+	for _, kind := range kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			const opsBefore = 3
+			for k := int64(1); ; k++ {
+				h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+				p := New(h, "r", kind, 1, 64)
+				for i := 0; i < opsBefore; i++ {
+					p.Update(0, counterTx)
+				}
+				ctx := p.ctxs[0]
+				ctx.SetCrashAt(k)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					p.Update(0, counterTx)
+				}()
+				if !crashed {
+					return
+				}
+				h.Crash(pmem.DropUnfenced, k)
+				p2 := New(h, "r", kind, 1, 64)
+				p2.Recover()
+				got := p2.Home().Load(0)
+				if got != opsBefore && got != opsBefore+1 {
+					t.Fatalf("crash@%d: counter = %d, want %d or %d (torn state)",
+						k, got, opsBefore, opsBefore+1)
+				}
+				// The PTM must keep working after recovery.
+				before := got
+				p2.Update(0, counterTx)
+				if p2.Home().Load(0) != before+1 {
+					t.Fatalf("crash@%d: PTM broken after recovery", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoveryMultiWordAtomicity checks transaction atomicity across words:
+// a transfer transaction is all-or-nothing at every crash point.
+func TestRecoveryMultiWordAtomicity(t *testing.T) {
+	transfer := func(tx *Tx) uint64 {
+		a := tx.Load(0)
+		b := tx.Load(8) // different cache line
+		tx.Store(0, a-1)
+		tx.Store(8, b+1)
+		return a
+	}
+	for _, kind := range kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			for k := int64(1); ; k++ {
+				h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+				p := New(h, "r", kind, 1, 64)
+				p.Update(0, func(tx *Tx) uint64 { tx.Store(0, 100); tx.Store(8, 100); return 0 })
+				ctx := p.ctxs[0]
+				ctx.SetCrashAt(k)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					p.Update(0, transfer)
+				}()
+				if !crashed {
+					return
+				}
+				h.Crash(pmem.DropUnfenced, k)
+				p2 := New(h, "r", kind, 1, 64)
+				p2.Recover()
+				sum := p2.Home().Load(0) + p2.Home().Load(8)
+				if sum != 200 {
+					t.Fatalf("crash@%d: sum = %d, want 200 (transaction torn)", k, sum)
+				}
+			}
+		})
+	}
+}

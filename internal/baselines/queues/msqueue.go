@@ -1,0 +1,225 @@
+// Package queues reimplements the hand-tuned durable lock-free queues the
+// paper benchmarks against in Figure 2, all as Michael-Scott queues over a
+// persistent node arena, differing only in their flush profiles:
+//
+//   - FHMP (Friedman, Herlihy, Marathe & Petrank, PPoPP'18): flush the new
+//     node before linking, flush the link before advancing tail, flush head
+//     and drain on every dequeue.
+//   - NormOpt (Capsules over the normalized MSQueue, Ben-David et al.):
+//     every CAS becomes a recoverable CAS — persist an intent record before
+//     it and the target line after it.
+//   - OptLinkedQ / OptUnlinkedQ (Sela & Petrank, SPAA'21): minimize
+//     accesses to flushed content — head is never flushed (dequeues flush a
+//     per-node removal marker instead); the unlinked variant also avoids
+//     flushing the link pointer (recovery reconstructs order from node
+//     metadata), leaving roughly one node flush per operation.
+//
+// Nodes are never recycled (bump allocation from per-thread chunks), so the
+// classic MSQueue ABA hazard does not arise.
+package queues
+
+import (
+	"fmt"
+
+	"pcomb/internal/pmem"
+	"pcomb/internal/pool"
+	"pcomb/internal/prim"
+)
+
+// Profile selects the flush discipline.
+type Profile int
+
+// Flush profiles (see package comment).
+const (
+	FHMP Profile = iota
+	NormOpt
+	OptLinked
+	OptUnlinked
+)
+
+func (p Profile) String() string {
+	switch p {
+	case FHMP:
+		return "FHMP"
+	case NormOpt:
+		return "NormOpt"
+	case OptLinked:
+		return "OptLinkedQ"
+	case OptUnlinked:
+		return "OptUnlinkedQ"
+	}
+	return fmt.Sprintf("Profile(%d)", int(p))
+}
+
+const (
+	nodeWords = 4 // [value, next, removal marker, pad]
+	headW     = 0
+	tailW     = pmem.LineWords // separate line from head
+)
+
+// Empty is the Dequeue result signalling an empty queue.
+const Empty = ^uint64(0)
+
+// MSQueue is a durable Michael-Scott queue with a configurable flush
+// profile.
+type MSQueue struct {
+	profile Profile
+	h       *pmem.Heap
+	p       *pool.Pool
+	ht      *pmem.Region // head (word 0) and tail (word 8)
+	intents *pmem.Region // NormOpt per-thread recoverable-CAS intent records
+	ctxs    []*pmem.Ctx
+
+	// Coherence hot spots: the head and tail words ping-pong between every
+	// enqueuer/dequeuer — the contention combining avoids.
+	hotHead pmem.HotWord
+	hotTail pmem.HotWord
+}
+
+// New creates (or re-opens) a durable MSQueue for n threads.
+func New(h *pmem.Heap, name string, profile Profile, n, capacity int) *MSQueue {
+	q := &MSQueue{
+		profile: profile,
+		h:       h,
+		p:       pool.New(h, name, n, nodeWords, capacity, 128),
+		ht:      h.AllocOrGet(name+"/msq.ht", 2*pmem.LineWords),
+		intents: h.AllocOrGet(name+"/msq.intents", n*pmem.LineWords),
+		ctxs:    make([]*pmem.Ctx, n),
+	}
+	for i := range q.ctxs {
+		q.ctxs[i] = h.NewCtx()
+	}
+	if q.ht.Load(headW) == 0 {
+		dummy := q.p.AllocFresh(q.ctxs[0], 0)
+		q.p.Store(dummy, 1, pool.Nil)
+		q.ctxs[0].PWB(q.p.Region(), q.p.Offset(dummy), nodeWords)
+		q.ht.Store(headW, dummy)
+		q.ht.Store(tailW, dummy)
+		q.ctxs[0].PWB(q.ht, 0, 2*pmem.LineWords)
+		q.ctxs[0].PSync()
+	}
+	return q
+}
+
+// Name identifies the flavor in benchmark output.
+func (q *MSQueue) Name() string { return q.profile.String() }
+
+// recCAS is NormOpt's recoverable CAS: persist an intent capsule before the
+// CAS and the target line after a successful one.
+func (q *MSQueue) recCAS(tid int, r *pmem.Region, idx int, old, new uint64) bool {
+	ctx := q.ctxs[tid]
+	q.intents.Store(tid*pmem.LineWords, new)
+	ctx.PWBLine(q.intents, tid*pmem.LineWords)
+	ctx.PFence()
+	ok := r.CAS(idx, old, new)
+	if ok {
+		ctx.PWBLine(r, idx)
+		ctx.PSync()
+	}
+	return ok
+}
+
+func (q *MSQueue) cas(tid int, r *pmem.Region, idx int, old, new uint64) bool {
+	if q.profile == NormOpt {
+		return q.recCAS(tid, r, idx, old, new)
+	}
+	return r.CAS(idx, old, new)
+}
+
+// Enqueue appends v.
+func (q *MSQueue) Enqueue(tid int, v uint64) {
+	ctx := q.ctxs[tid]
+	idx := q.p.AllocFresh(ctx, tid)
+	q.p.Store(idx, 0, v)
+	q.p.Store(idx, 1, pool.Nil)
+	q.p.Store(idx, 2, 0)
+	// All profiles persist the node contents before it can be linked.
+	ctx.PWB(q.p.Region(), q.p.Offset(idx), nodeWords)
+	ctx.PFence()
+
+	for {
+		q.h.Touch(&q.hotTail, tid)
+		last := q.ht.Load(tailW)
+		next := q.p.Load(last, 1)
+		if last != q.ht.Load(tailW) {
+			continue
+		}
+		if next == pool.Nil {
+			if q.cas(tid, q.p.Region(), q.p.Offset(last)+1, pool.Nil, idx) {
+				switch q.profile {
+				case FHMP, NormOpt, OptLinked:
+					// Persist the link before tail may advance past it.
+					ctx.PWBLine(q.p.Region(), q.p.Offset(last)+1)
+					ctx.PFence()
+				case OptUnlinked:
+					// The unlinked variant persists no link: recovery
+					// reconstructs order from the nodes themselves.
+				}
+				q.ht.CAS(tailW, last, idx)
+				return
+			}
+		} else {
+			// Help: persist the dangling link and advance tail.
+			if q.profile != OptUnlinked {
+				ctx.PWBLine(q.p.Region(), q.p.Offset(last)+1)
+				ctx.PFence()
+			}
+			q.ht.CAS(tailW, last, next)
+		}
+		prim.Pause()
+	}
+}
+
+// Dequeue removes the oldest value.
+func (q *MSQueue) Dequeue(tid int) (uint64, bool) {
+	ctx := q.ctxs[tid]
+	for {
+		q.h.Touch(&q.hotHead, tid)
+		q.h.Touch(&q.hotTail, tid)
+		first := q.ht.Load(headW)
+		last := q.ht.Load(tailW)
+		next := q.p.Load(first, 1)
+		if first != q.ht.Load(headW) {
+			continue
+		}
+		if first == last {
+			if next == pool.Nil {
+				return 0, false
+			}
+			if q.profile != OptUnlinked {
+				ctx.PWBLine(q.p.Region(), q.p.Offset(first)+1)
+				ctx.PFence()
+			}
+			q.ht.CAS(tailW, last, next)
+			continue
+		}
+		v := q.p.Load(next, 0)
+		if q.cas(tid, q.ht, headW, first, next) {
+			switch q.profile {
+			case FHMP:
+				// Flush the new head and drain before responding.
+				ctx.PWBLine(q.ht, headW)
+				ctx.PSync()
+			case NormOpt:
+				// recCAS already persisted the head line and drained.
+			case OptLinked, OptUnlinked:
+				// Head is never flushed: persist a removal marker in the
+				// dequeued node instead.
+				q.p.Store(next, 2, uint64(tid)+1)
+				ctx.PWBLine(q.p.Region(), q.p.Offset(next)+2)
+				ctx.PSync()
+			}
+			return v, true
+		}
+		prim.Pause()
+	}
+}
+
+// Snapshot walks the queue head-to-tail. Quiescent use only.
+func (q *MSQueue) Snapshot() []uint64 {
+	var out []uint64
+	for cur := q.p.Load(q.ht.Load(headW), 1); cur != pool.Nil; cur = q.p.Load(cur, 1) {
+		out = append(out, q.p.Load(cur, 0))
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package queues
+
+import (
+	"sync"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+func newHeap() *pmem.Heap {
+	return pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+}
+
+func profiles() []Profile { return []Profile{FHMP, NormOpt, OptLinked, OptUnlinked} }
+
+func TestSequentialFIFO(t *testing.T) {
+	for _, pr := range profiles() {
+		t.Run(pr.String(), func(t *testing.T) {
+			h := newHeap()
+			q := New(h, "q", pr, 1, 4096)
+			for i := uint64(1); i <= 40; i++ {
+				q.Enqueue(0, i)
+			}
+			for i := uint64(1); i <= 40; i++ {
+				got, ok := q.Dequeue(0)
+				if !ok || got != i {
+					t.Fatalf("dequeue = %d,%v want %d", got, ok, i)
+				}
+			}
+			if _, ok := q.Dequeue(0); ok {
+				t.Fatal("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestConcurrentMultiset(t *testing.T) {
+	for _, pr := range profiles() {
+		t.Run(pr.String(), func(t *testing.T) {
+			const n, per = 8, 150
+			h := newHeap()
+			q := New(h, "q", pr, n, n*per+n*256+64)
+			var consumed sync.Map
+			var wg sync.WaitGroup
+			for tid := 0; tid < n; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Enqueue(tid, uint64(tid)<<32|uint64(i)+1)
+						if v, ok := q.Dequeue(tid); ok {
+							if _, dup := consumed.LoadOrStore(v, true); dup {
+								t.Errorf("duplicate %x", v)
+								return
+							}
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			total := 0
+			consumed.Range(func(_, _ any) bool { total++; return true })
+			total += len(q.Snapshot())
+			if total != n*per {
+				t.Fatalf("consumed+residue = %d, want %d", total, n*per)
+			}
+		})
+	}
+}
+
+func TestPerProducerOrder(t *testing.T) {
+	const n, per = 4, 200
+	h := newHeap()
+	q := New(h, "q", FHMP, n, n*per+n*256+64)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	lastSeen := map[uint64]uint64{}
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(tid, uint64(tid)<<32|uint64(i)+1)
+				if v, ok := q.Dequeue(tid); ok {
+					prod, idx := v>>32, v&0xffffffff
+					mu.Lock()
+					if idx <= lastSeen[prod<<8|uint64(tid)] {
+						t.Errorf("per-producer order violated")
+					}
+					lastSeen[prod<<8|uint64(tid)] = idx
+					mu.Unlock()
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// TestFlushProfileOrdering checks the pwbs/op hierarchy Figure 2b shows:
+// OptUnlinked < OptLinked <= FHMP < NormOpt.
+func TestFlushProfileOrdering(t *testing.T) {
+	count := func(pr Profile) float64 {
+		h := newHeap()
+		q := New(h, "q", pr, 1, 8192)
+		h.ResetStats()
+		const ops = 500
+		for i := uint64(0); i < ops; i++ {
+			q.Enqueue(0, i+1)
+			q.Dequeue(0)
+		}
+		return float64(h.Stats().Pwbs) / float64(2*ops)
+	}
+	fhmp, norm, lk, ulk := count(FHMP), count(NormOpt), count(OptLinked), count(OptUnlinked)
+	if !(ulk < lk) {
+		t.Fatalf("OptUnlinked %.2f !< OptLinked %.2f", ulk, lk)
+	}
+	if !(lk <= fhmp) {
+		t.Fatalf("OptLinked %.2f !<= FHMP %.2f", lk, fhmp)
+	}
+	if !(fhmp < norm) {
+		t.Fatalf("FHMP %.2f !< NormOpt %.2f", fhmp, norm)
+	}
+}

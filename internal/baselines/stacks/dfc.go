@@ -1,0 +1,198 @@
+// Package stacks reimplements DFC (Rusanovsky et al.), the detectable
+// flat-combining persistent stack the paper benchmarks against in
+// Figure 3a. DFC's design decisions differ from PBstack in exactly the ways
+// the paper calls out:
+//
+//   - the announce array lives in NVMM and every thread persists its own
+//     announcement (pwb+pfence) before waiting;
+//   - the combiner applies updates directly on the shared stack state, so
+//     each served request persists scattered lines (node + top pointer);
+//   - return values are stored back into the announce array, so the
+//     combiner persists each response separately.
+//
+// Like DFC, the combiner pairs off concurrent Push/Pop requests
+// (elimination), which spares the stack updates but still pays the per-slot
+// response persists.
+package stacks
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/pmem"
+	"pcomb/internal/pool"
+	"pcomb/internal/prim"
+)
+
+// Empty is the Pop result signalling an empty stack.
+const Empty = ^uint64(0)
+
+const (
+	opPush uint64 = 1
+	opPop  uint64 = 2
+)
+
+const nodeWords = 2 // [value, next]
+
+// DFC is the flat-combining persistent stack.
+type DFC struct {
+	h    *pmem.Heap
+	p    *pool.Pool
+	top  *pmem.Region // word 0: top node index
+	ann  *pmem.Region // one line per thread: [op, arg, ret]
+	tkts []prim.PaddedUint64
+	lock atomic.Uint32
+	ctxs []*pmem.Ctx
+	n    int
+
+	// Coherence hot spots: the combiner lock, the top pointer, and the
+	// per-thread announcement lines (each transfers announcer->combiner and
+	// back every operation).
+	hotLock  pmem.HotWord
+	hotTop   pmem.HotWord
+	hotSlots []pmem.HotWord
+}
+
+// New creates (or re-opens) a DFC stack for n threads.
+func New(h *pmem.Heap, name string, n, capacity int) *DFC {
+	d := &DFC{
+		h:    h,
+		p:    pool.New(h, name, n, nodeWords, capacity, 128),
+		top:  h.AllocOrGet(name+"/dfc.top", pmem.LineWords),
+		ann:  h.AllocOrGet(name+"/dfc.ann", n*pmem.LineWords),
+		tkts: make([]prim.PaddedUint64, n),
+		ctxs: make([]*pmem.Ctx, n),
+		n:    n,
+	}
+	d.hotSlots = make([]pmem.HotWord, n)
+	for i := range d.ctxs {
+		d.ctxs[i] = h.NewCtx()
+	}
+	return d
+}
+
+// Name identifies the algorithm in benchmark output.
+func (*DFC) Name() string { return "DFC" }
+
+// Push pushes v.
+func (d *DFC) Push(tid int, v uint64) { d.apply(tid, opPush, v) }
+
+// Pop removes the top value.
+func (d *DFC) Pop(tid int) (uint64, bool) {
+	r := d.apply(tid, opPop, 0)
+	if r == Empty {
+		return 0, false
+	}
+	return r, true
+}
+
+func (d *DFC) apply(tid int, op, arg uint64) uint64 {
+	ctx := d.ctxs[tid]
+	base := tid * pmem.LineWords
+	d.ann.Store(base, op)
+	d.ann.Store(base+1, arg)
+	// DFC persists the announcement itself before waiting, so the combiner
+	// may only serve durable announcements.
+	ctx.PWBLine(d.ann, base)
+	ctx.PFence()
+	tkt := d.tkts[tid].V.Load() + 1
+	d.tkts[tid].V.Store(tkt)
+	prim.Pause() // let announcements accumulate into a combining batch
+
+	for {
+		if d.tkts[tid].V.Load() == tkt+1 {
+			return d.ann.Load(base + 2)
+		}
+		d.h.Touch(&d.hotLock, tid)
+		if d.lock.CompareAndSwap(0, 1) {
+			d.combine(tid)
+			d.lock.Store(0)
+			if d.tkts[tid].V.Load() == tkt+1 {
+				return d.ann.Load(base + 2)
+			}
+			continue
+		}
+		prim.Pause()
+	}
+}
+
+func (d *DFC) combine(tid int) {
+	ctx := d.ctxs[tid]
+	type pend struct {
+		q   int
+		tkt uint64
+		op  uint64
+		arg uint64
+	}
+	var pushes, pops []pend
+	for q := 0; q < d.n; q++ {
+		t := d.tkts[q].V.Load()
+		if t%2 != 1 {
+			continue
+		}
+		d.h.Touch(&d.hotSlots[q], tid)
+		base := q * pmem.LineWords
+		pd := pend{q: q, tkt: t, op: d.ann.Load(base), arg: d.ann.Load(base + 1)}
+		if pd.op == opPush {
+			pushes = append(pushes, pd)
+		} else {
+			pops = append(pops, pd)
+		}
+	}
+	respond := func(q int, tkt, ret uint64) {
+		base := q * pmem.LineWords
+		d.h.Touch(&d.hotSlots[q], tid)
+		d.ann.Store(base+2, ret)
+		// Each response is persisted separately — the design decision the
+		// paper contrasts with PBcomb's single contiguous record.
+		ctx.PWBLine(d.ann, base)
+		ctx.PFence()
+		d.tkts[q].V.Store(tkt + 1)
+	}
+
+	// Elimination: pair k pushes with k pops.
+	k := len(pushes)
+	if len(pops) < k {
+		k = len(pops)
+	}
+	for i := 0; i < k; i++ {
+		respond(pops[i].q, pops[i].tkt, pushes[i].arg)
+		respond(pushes[i].q, pushes[i].tkt, 0)
+	}
+
+	// Serve the remainder directly on the shared stack: scattered persists.
+	d.h.Touch(&d.hotTop, tid)
+	top := d.top.Load(0)
+	for _, pd := range pushes[k:] {
+		idx := d.p.AllocFresh(ctx, tid)
+		d.p.Store(idx, 0, pd.arg)
+		d.p.Store(idx, 1, top)
+		ctx.PWB(d.p.Region(), d.p.Offset(idx), nodeWords)
+		top = idx
+		d.top.Store(0, top)
+		ctx.PWBLine(d.top, 0)
+		ctx.PFence()
+		respond(pd.q, pd.tkt, 0)
+	}
+	for _, pd := range pops[k:] {
+		if top == pool.Nil {
+			respond(pd.q, pd.tkt, Empty)
+			continue
+		}
+		ret := d.p.Load(top, 0)
+		top = d.p.Load(top, 1)
+		d.top.Store(0, top)
+		ctx.PWBLine(d.top, 0)
+		ctx.PFence()
+		respond(pd.q, pd.tkt, ret)
+	}
+	ctx.PSync()
+}
+
+// Snapshot walks the stack top-to-bottom. Quiescent use only.
+func (d *DFC) Snapshot() []uint64 {
+	var out []uint64
+	for cur := d.top.Load(0); cur != pool.Nil; cur = d.p.Load(cur, 1) {
+		out = append(out, d.p.Load(cur, 0))
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package stacks
+
+import (
+	"sync"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+func newHeap() *pmem.Heap {
+	return pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+}
+
+func TestSequentialLIFO(t *testing.T) {
+	h := newHeap()
+	s := New(h, "s", 1, 4096)
+	for i := uint64(1); i <= 40; i++ {
+		s.Push(0, i)
+	}
+	for i := uint64(40); i >= 1; i-- {
+		got, ok := s.Pop(0)
+		if !ok || got != i {
+			t.Fatalf("pop = %d,%v want %d", got, ok, i)
+		}
+	}
+	if _, ok := s.Pop(0); ok {
+		t.Fatal("stack should be empty")
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	h := newHeap()
+	s := New(h, "s", 2, 256)
+	if _, ok := s.Pop(0); ok {
+		t.Fatal("empty pop must fail")
+	}
+}
+
+func TestConcurrentMultiset(t *testing.T) {
+	const n, per = 8, 150
+	h := newHeap()
+	s := New(h, "s", n, n*per+n*256+64)
+	var consumed sync.Map
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Push(tid, uint64(tid)<<32|uint64(i)+1)
+				if v, ok := s.Pop(tid); ok {
+					if _, dup := consumed.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate %x", v)
+						return
+					}
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	total := 0
+	consumed.Range(func(_, _ any) bool { total++; return true })
+	total += len(s.Snapshot())
+	if total != n*per {
+		t.Fatalf("consumed+residue = %d, want %d", total, n*per)
+	}
+}
+
+func TestAnnouncementPersistedBeforeServing(t *testing.T) {
+	// Each operation persists its own announcement: with one thread and one
+	// push, the pwb count must include the announce line in addition to the
+	// node, top pointer, and response.
+	h := newHeap()
+	s := New(h, "s", 1, 256)
+	h.ResetStats()
+	s.Push(0, 1)
+	st := h.Stats()
+	if st.Pwbs < 4 {
+		t.Fatalf("pwbs = %d, want >= 4 (announce, node, top, response)", st.Pwbs)
+	}
+	if st.Pfences == 0 || st.Psyncs == 0 {
+		t.Fatalf("fences/syncs missing: %+v", st)
+	}
+}

@@ -1,0 +1,141 @@
+package volatilecomb
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/memmodel"
+	"pcomb/internal/prim"
+)
+
+// ccNode is one announcement cell of CC-Synch's implicit combining queue.
+type ccNode struct {
+	arg       uint64
+	ret       uint64
+	wait      atomic.Uint32
+	completed atomic.Uint32
+	next      atomic.Pointer[ccNode]
+	hot       prim.Hot
+	_         [2]uint64
+}
+
+// CCSynch is the CC-Synch combining protocol: threads swap themselves into
+// a queue of announcement nodes; the thread holding the head serves up to H
+// requests and hands the combiner role to the next waiter.
+type CCSynch struct {
+	st    []uint64
+	step  StepFn
+	tail  atomic.Pointer[ccNode]
+	local []struct {
+		n *ccNode
+		_ [7]uint64
+	}
+	h int
+
+	// preBatch/postBatch bracket a combiner's serving pass; H-Synch uses
+	// them to hold the global central lock for the whole batch.
+	preBatch  func()
+	postBatch func()
+
+	tr       *memmodel.Tracker
+	tailLine int
+	stLine   int
+	nodeBase int
+
+	miss    prim.Cost
+	hotTail prim.Hot
+	hotSt   prim.Hot
+}
+
+// NewCCSynch creates a CC-Synch executor for n threads; h bounds the
+// requests served per combiner (0 selects the customary n+1).
+func NewCCSynch(n int, state []uint64, step StepFn, h int) *CCSynch {
+	if h <= 0 {
+		h = n + 1
+	}
+	c := &CCSynch{st: state, step: step, h: h}
+	c.local = make([]struct {
+		n *ccNode
+		_ [7]uint64
+	}, n)
+	dummy := &ccNode{}
+	c.tail.Store(dummy)
+	for i := range c.local {
+		c.local[i].n = &ccNode{}
+	}
+	return c
+}
+
+// SetMissCost enables coherence-transfer charging.
+func (c *CCSynch) SetMissCost(ns int) { c.miss = prim.CostForNs(ns) }
+
+// SetTracker installs Table 1 instrumentation.
+func (c *CCSynch) SetTracker(t *memmodel.Tracker) {
+	c.tr = t
+	if t != nil {
+		c.tailLine = t.Register(1, memmodel.ClassMeta)
+		c.stLine = t.Register(1, memmodel.ClassState)
+		c.nodeBase = t.Register(len(c.local)+1, memmodel.ClassMeta)
+	}
+}
+
+// Name implements Executor.
+func (*CCSynch) Name() string { return "CC-Synch" }
+
+// Apply implements Executor.
+func (c *CCSynch) Apply(tid int, arg uint64) uint64 {
+	next := c.local[tid].n
+	next.next.Store(nil)
+	next.wait.Store(1)
+	next.completed.Store(0)
+
+	c.hotTail.Touch(c.miss, tid)
+	cur := c.tail.Swap(next)
+	if c.tr != nil {
+		c.tr.Write(tid, c.tailLine)
+	}
+	cur.hot.Touch(c.miss, tid)
+	cur.arg = arg
+	cur.next.Store(next)
+	c.local[tid].n = cur
+
+	for cur.wait.Load() == 1 {
+		prim.Pause()
+	}
+	if c.tr != nil {
+		c.tr.Read(tid, c.nodeBase+tid%len(c.local))
+	}
+	if cur.completed.Load() == 1 {
+		return cur.ret
+	}
+
+	// We are the combiner.
+	if c.preBatch != nil {
+		c.preBatch()
+	}
+	tmp := cur
+	served := 0
+	for {
+		nx := tmp.next.Load()
+		if nx == nil || served >= c.h {
+			break
+		}
+		served++
+		tmp.hot.Touch(c.miss, tid)
+		c.hotSt.Touch(c.miss, tid)
+		tmp.ret = c.step(c.st, tmp.arg)
+		if c.tr != nil {
+			c.tr.Write(tid, c.stLine)
+		}
+		tmp.completed.Store(1)
+		tmp.wait.Store(0)
+		if c.tr != nil {
+			c.tr.Write(tid, c.nodeBase+served%len(c.local))
+		}
+		tmp = nx
+	}
+	if c.postBatch != nil {
+		c.postBatch()
+	}
+	tmp.wait.Store(0) // pass the combiner role
+	return cur.ret
+}

@@ -1,0 +1,77 @@
+package volatilecomb
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/prim"
+)
+
+// fcSlot is a thread's publication record in the flat-combining array.
+type fcSlot struct {
+	arg atomic.Uint64
+	ret atomic.Uint64
+	req atomic.Uint64 // request ticket: odd = pending, even = done
+	_   [5]uint64
+}
+
+// FlatCombining is Hendler et al.'s flat combining: threads publish
+// requests in a per-thread slot; whoever grabs the combiner lock scans the
+// whole publication array and serves every pending request in place.
+type FlatCombining struct {
+	st    []uint64
+	step  StepFn
+	lock  atomic.Uint32
+	slots []fcSlot
+
+	miss     prim.Cost
+	hotLock  prim.Hot
+	hotSt    prim.Hot
+	hotSlots []prim.Hot
+}
+
+// NewFlatCombining creates a flat-combining executor for n threads.
+func NewFlatCombining(n int, state []uint64, step StepFn) *FlatCombining {
+	return &FlatCombining{st: state, step: step,
+		slots: make([]fcSlot, n), hotSlots: make([]prim.Hot, n)}
+}
+
+// SetMissCost enables coherence-transfer charging.
+func (f *FlatCombining) SetMissCost(ns int) { f.miss = prim.CostForNs(ns) }
+
+// Name implements Executor.
+func (*FlatCombining) Name() string { return "flat-combining" }
+
+// Apply implements Executor.
+func (f *FlatCombining) Apply(tid int, arg uint64) uint64 {
+	s := &f.slots[tid]
+	s.arg.Store(arg)
+	ticket := s.req.Load() + 1 // becomes odd: pending
+	s.req.Store(ticket)
+	prim.Pause() // let announcements accumulate into a combining batch
+
+	for {
+		if s.req.Load() == ticket+1 {
+			return s.ret.Load()
+		}
+		f.hotLock.Touch(f.miss, tid)
+		if f.lock.CompareAndSwap(0, 1) {
+			// Combiner: scan the publication list.
+			for i := range f.slots {
+				sl := &f.slots[i]
+				t := sl.req.Load()
+				if t%2 == 1 {
+					f.hotSlots[i].Touch(f.miss, tid)
+					f.hotSt.Touch(f.miss, tid)
+					sl.ret.Store(f.step(f.st, sl.arg.Load()))
+					sl.req.Store(t + 1)
+				}
+			}
+			f.lock.Store(0)
+			if s.req.Load() == ticket+1 {
+				return s.ret.Load()
+			}
+			continue
+		}
+		prim.Pause()
+	}
+}

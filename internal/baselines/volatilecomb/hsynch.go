@@ -1,0 +1,75 @@
+package volatilecomb
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/memmodel"
+	"pcomb/internal/prim"
+)
+
+// HSynch is the hierarchical variant of CC-Synch: each cluster of threads
+// (a simulated NUMA node) runs its own CC-Synch announcement queue, and a
+// cluster's combiner must hold a global central lock while serving, so
+// combiners of different clusters alternate instead of interleaving cache
+// traffic.
+type HSynch struct {
+	st       []uint64
+	step     StepFn
+	clusters []*CCSynch
+	perCl    int
+	global   atomic.Uint32
+	miss     prim.Cost
+	hotGl    prim.Hot
+}
+
+// NewHSynch creates an H-Synch executor for n threads split into nclusters
+// simulated NUMA nodes (0 selects 4).
+func NewHSynch(n int, state []uint64, step StepFn, nclusters int) *HSynch {
+	if nclusters <= 0 {
+		nclusters = 4
+	}
+	if nclusters > n {
+		nclusters = n
+	}
+	h := &HSynch{st: state, step: step}
+	h.perCl = (n + nclusters - 1) / nclusters
+	for c := 0; c < nclusters; c++ {
+		// Each cluster queue serves requests while its combiner holds the
+		// global central lock for the whole batch.
+		cl := NewCCSynch(h.perCl, state, step, h.perCl+1)
+		cl.preBatch = func() {
+			h.hotGl.Touch(h.miss, c)
+			for !h.global.CompareAndSwap(0, 1) {
+				prim.Pause()
+			}
+		}
+		cl.postBatch = func() { h.global.Store(0) }
+		h.clusters = append(h.clusters, cl)
+	}
+	return h
+}
+
+// SetMissCost enables coherence-transfer charging on every cluster queue
+// and the global lock.
+func (h *HSynch) SetMissCost(ns int) {
+	h.miss = prim.CostForNs(ns)
+	for _, cl := range h.clusters {
+		cl.SetMissCost(ns)
+	}
+}
+
+// SetTracker installs Table 1 instrumentation on every cluster queue.
+func (h *HSynch) SetTracker(t *memmodel.Tracker) {
+	for _, cl := range h.clusters {
+		cl.SetTracker(t)
+	}
+}
+
+// Name implements Executor.
+func (*HSynch) Name() string { return "H-Synch" }
+
+// Apply implements Executor.
+func (h *HSynch) Apply(tid int, arg uint64) uint64 {
+	cl := h.clusters[(tid/h.perCl)%len(h.clusters)]
+	return cl.Apply(tid%h.perCl, arg)
+}

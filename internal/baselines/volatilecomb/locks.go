@@ -1,0 +1,211 @@
+package volatilecomb
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/memmodel"
+	"pcomb/internal/prim"
+)
+
+// mcsNode is a queue cell of the MCS lock.
+type mcsNode struct {
+	locked atomic.Uint32
+	next   atomic.Pointer[mcsNode]
+	_      [6]uint64
+}
+
+// mcsLock is the Mellor-Crummey & Scott queue spin lock.
+type mcsLock struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+// acquire reports whether the caller had to queue behind a predecessor.
+func (l *mcsLock) acquire(n *mcsNode) bool {
+	n.next.Store(nil)
+	n.locked.Store(1)
+	prev := l.tail.Swap(n)
+	if prev == nil {
+		return false
+	}
+	prev.next.Store(n)
+	for n.locked.Load() == 1 {
+		prim.Pause()
+	}
+	return true
+}
+
+func (l *mcsLock) release(n *mcsNode) {
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		for {
+			next = n.next.Load()
+			if next != nil {
+				break
+			}
+			prim.Pause()
+		}
+	}
+	next.locked.Store(0)
+}
+
+// MCS executes operations inside an MCS-lock critical section.
+type MCS struct {
+	st    []uint64
+	step  StepFn
+	lock  mcsLock
+	nodes []struct {
+		n mcsNode
+		_ [4]uint64
+	}
+
+	tr       *memmodel.Tracker
+	lockLine int
+	stLine   int
+
+	miss    prim.Cost
+	hotTail prim.Hot
+	hotSt   prim.Hot
+}
+
+// NewMCS creates the MCS queue-lock baseline for n threads.
+func NewMCS(n int, state []uint64, step StepFn) *MCS {
+	return &MCS{st: state, step: step, nodes: make([]struct {
+		n mcsNode
+		_ [4]uint64
+	}, n)}
+}
+
+// SetMissCost enables coherence-transfer charging.
+func (m *MCS) SetMissCost(ns int) { m.miss = prim.CostForNs(ns) }
+
+// SetTracker installs Table 1 instrumentation.
+func (m *MCS) SetTracker(t *memmodel.Tracker) {
+	m.tr = t
+	if t != nil {
+		m.lockLine = t.Register(1, memmodel.ClassMeta)
+		m.stLine = t.Register(1, memmodel.ClassState)
+	}
+}
+
+// Name implements Executor.
+func (*MCS) Name() string { return "MCS" }
+
+// Apply implements Executor.
+func (m *MCS) Apply(tid int, arg uint64) uint64 {
+	node := &m.nodes[tid].n
+	m.hotTail.Touch(m.miss, tid) // tail swap transfers the lock word
+	if m.lock.acquire(node) {
+		prim.Burn(m.miss) // the releaser wrote our queue node (hand-off)
+	}
+	m.hotSt.Touch(m.miss, tid)
+	if m.tr != nil {
+		m.tr.Write(tid, m.lockLine)
+	}
+	ret := m.step(m.st, arg)
+	if m.tr != nil {
+		m.tr.Read(tid, m.stLine)
+		m.tr.Write(tid, m.stLine)
+	}
+	if node.next.Load() != nil {
+		prim.Burn(m.miss) // writing the successor's node is another transfer
+	}
+	m.lock.release(node)
+	return ret
+}
+
+// CBOMCS is the C-BO-MCS cohort lock (Dice, Marathe & Shavit): a global
+// backoff lock cohorted with per-cluster MCS locks. A cluster keeps the
+// global lock across up to maxPass consecutive local hand-offs.
+type CBOMCS struct {
+	st      []uint64
+	step    StepFn
+	global  atomic.Uint32
+	perCl   int
+	maxPass int
+	cls     []*cohortCluster
+
+	miss  prim.Cost
+	hotGl prim.Hot
+	hotSt prim.Hot
+}
+
+type cohortCluster struct {
+	hot       prim.Hot
+	lock      mcsLock
+	ownGlobal atomic.Uint32 // cohort currently holds the global lock
+	passes    int           // protected by the cluster MCS lock
+	nodes     []struct {
+		n mcsNode
+		_ [4]uint64
+	}
+	_ [4]uint64
+}
+
+// NewCBOMCS creates the cohort-lock baseline for n threads in nclusters
+// simulated NUMA nodes (0 selects 4).
+func NewCBOMCS(n int, state []uint64, step StepFn, nclusters, maxPass int) *CBOMCS {
+	if nclusters <= 0 {
+		nclusters = 4
+	}
+	if nclusters > n {
+		nclusters = n
+	}
+	if maxPass <= 0 {
+		maxPass = 64
+	}
+	c := &CBOMCS{st: state, step: step, maxPass: maxPass}
+	c.perCl = (n + nclusters - 1) / nclusters
+	for i := 0; i < nclusters; i++ {
+		c.cls = append(c.cls, &cohortCluster{nodes: make([]struct {
+			n mcsNode
+			_ [4]uint64
+		}, c.perCl)})
+	}
+	return c
+}
+
+// SetMissCost enables coherence-transfer charging.
+func (c *CBOMCS) SetMissCost(ns int) { c.miss = prim.CostForNs(ns) }
+
+// Name implements Executor.
+func (*CBOMCS) Name() string { return "C-BO-MCS" }
+
+// Apply implements Executor.
+func (c *CBOMCS) Apply(tid int, arg uint64) uint64 {
+	cl := c.cls[(tid/c.perCl)%len(c.cls)]
+	node := &cl.nodes[tid%c.perCl].n
+	cl.hot.Touch(c.miss, tid)
+	if cl.lock.acquire(node) {
+		prim.Burn(c.miss) // hand-off wrote our queue node
+	}
+	c.hotSt.Touch(c.miss, tid)
+	if cl.ownGlobal.Load() == 0 {
+		c.hotGl.Touch(c.miss, tid)
+		bo := uint64(16)
+		for !c.global.CompareAndSwap(0, 1) {
+			for i := uint64(0); i < bo; i++ {
+				_ = i
+			}
+			if bo < 4096 {
+				bo *= 2
+			}
+			prim.Pause()
+		}
+		cl.ownGlobal.Store(1)
+		cl.passes = 0
+	}
+	ret := c.step(c.st, arg)
+
+	// Release: hand the global lock within the cohort when a successor is
+	// queued and the pass budget allows; otherwise release both.
+	cl.passes++
+	if cl.passes >= c.maxPass || node.next.Load() == nil {
+		cl.ownGlobal.Store(0)
+		c.global.Store(0)
+	}
+	cl.lock.release(node)
+	return ret
+}

@@ -1,0 +1,163 @@
+package volatilecomb
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/memmodel"
+	"pcomb/internal/prim"
+)
+
+// PSim is Fatourou & Kallimanis' wait-free universal construction: every
+// thread toggles its announce bit, copies the current state record, serves
+// every request whose toggle differs from the record's applied-set, and
+// tries to swing a versioned pointer to its copy.
+//
+// Records are stored word-atomically (layout: state ‖ applied-set ‖ returns)
+// because a slow thread may copy a record concurrently with its owner
+// rewriting it for a later round; the copy is validated against S before
+// use, exactly as in the paper. Serving happens on a private scratch copy.
+type PSim struct {
+	n        int
+	step     StepFn
+	words    int
+	appWords int
+	recWords int
+	s        atomic.Uint64 // versioned record index
+	recs     []uint64      // (2n+1) records, accessed atomically
+	args     []prim.PaddedUint64
+	toggle   []uint64 // announce bitmask, accessed atomically
+	myInd    []int
+	bo       []*prim.Backoff
+	scratch  [][]uint64
+
+	tr     *memmodel.Tracker
+	sLine  int
+	stLine int
+	anBase int
+
+	miss    prim.Cost
+	hotS    prim.Hot
+	hotAnn  []prim.Hot
+	hotRecs []prim.Hot
+}
+
+// NewPSim creates a PSim executor for n threads over a word-array state.
+func NewPSim(n int, state []uint64, step StepFn) *PSim {
+	p := &PSim{n: n, step: step, words: len(state)}
+	p.appWords = (n + 63) / 64
+	p.recWords = p.words + p.appWords + n
+	p.recs = make([]uint64, (2*n+1)*p.recWords)
+	dummy := 2 * n
+	for i, v := range state {
+		p.recs[dummy*p.recWords+i] = v
+	}
+	p.s.Store(prim.PackVersioned(dummy, 0))
+	p.args = make([]prim.PaddedUint64, n)
+	p.toggle = make([]uint64, p.appWords)
+	p.myInd = make([]int, n)
+	p.bo = make([]*prim.Backoff, n)
+	p.scratch = make([][]uint64, n)
+	p.hotAnn = make([]prim.Hot, p.appWords)
+	p.hotRecs = make([]prim.Hot, 2*n+1)
+	for i := range p.bo {
+		p.bo[i] = prim.NewBackoff(16, 2048, int64(i)+1)
+		p.scratch[i] = make([]uint64, p.recWords)
+	}
+	return p
+}
+
+// SetMissCost enables coherence-transfer charging.
+func (p *PSim) SetMissCost(ns int) { p.miss = prim.CostForNs(ns) }
+
+// SetTracker installs Table 1 instrumentation.
+func (p *PSim) SetTracker(t *memmodel.Tracker) {
+	p.tr = t
+	if t != nil {
+		p.sLine = t.Register(1, memmodel.ClassMeta)
+		p.stLine = t.Register(2, memmodel.ClassState)
+		p.anBase = t.Register(p.appWords, memmodel.ClassMeta)
+	}
+}
+
+// Name implements Executor.
+func (*PSim) Name() string { return "PSim" }
+
+// Apply implements Executor.
+func (p *PSim) Apply(tid int, arg uint64) uint64 {
+	p.args[tid].V.Store(arg)
+	w, b := tid/64, uint64(1)<<(tid%64)
+	p.hotAnn[w].Touch(p.miss, tid)
+	for { // Fetch&Xor of the announce bit
+		old := atomic.LoadUint64(&p.toggle[w])
+		if atomic.CompareAndSwapUint64(&p.toggle[w], old, old^b) {
+			break
+		}
+	}
+	if p.tr != nil {
+		p.tr.Write(tid, p.anBase+w)
+	}
+
+	sc := p.scratch[tid]
+	for attempt := 0; attempt < 2; attempt++ {
+		sv := p.s.Load()
+		if p.tr != nil {
+			p.tr.Read(tid, p.sLine)
+		}
+		slot, stamp := prim.UnpackVersioned(sv)
+		p.hotS.Touch(p.miss, tid)
+		p.hotRecs[slot].Touch(p.miss, tid)
+		src := slot * p.recWords
+		for i := 0; i < p.recWords; i++ {
+			sc[i] = atomic.LoadUint64(&p.recs[src+i])
+		}
+		if p.tr != nil {
+			p.tr.Read(tid, p.stLine)
+			p.tr.Write(tid, p.stLine+1)
+		}
+		if p.s.Load() != sv {
+			p.bo[tid].Wait()
+			continue
+		}
+		st := sc[:p.words]
+		applied := sc[p.words : p.words+p.appWords]
+		rets := sc[p.words+p.appWords:]
+		for q := 0; q < p.n; q++ {
+			qw, qb := q/64, uint64(1)<<(q%64)
+			t := atomic.LoadUint64(&p.toggle[qw]) & qb
+			if t == applied[qw]&qb {
+				continue
+			}
+			rets[q] = p.step(st, p.args[q].V.Load())
+			applied[qw] ^= qb
+		}
+		if p.s.Load() != sv {
+			p.bo[tid].Wait()
+			continue
+		}
+		mySlot := tid*2 + p.myInd[tid]
+		p.hotS.Touch(p.miss, tid)
+		dst := mySlot * p.recWords
+		for i := 0; i < p.recWords; i++ {
+			atomic.StoreUint64(&p.recs[dst+i], sc[i])
+		}
+		if p.s.CompareAndSwap(sv, prim.PackVersioned(mySlot, stamp+1)) {
+			if p.tr != nil {
+				p.tr.Write(tid, p.sLine)
+			}
+			p.myInd[tid] ^= 1
+			return rets[tid]
+		}
+		p.bo[tid].Wait()
+		p.bo[tid].Grow()
+	}
+	// Served by another combiner: read the response with validation.
+	for {
+		sv := p.s.Load()
+		slot, _ := prim.UnpackVersioned(sv)
+		v := atomic.LoadUint64(&p.recs[slot*p.recWords+p.words+p.appWords+tid])
+		if p.s.Load() == sv {
+			return v
+		}
+		prim.Pause()
+	}
+}

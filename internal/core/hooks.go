@@ -1,0 +1,47 @@
+package core
+
+// Instrumentation forwarders: no-ops unless a memmodel.Tracker is installed
+// via SetTracker. They let Table 1's shared-memory counters be collected
+// without perturbing the uninstrumented fast path.
+
+func (c *PBComb) onLockRead(tid int) {
+	if c.track != nil {
+		c.track.LockRead(tid)
+	}
+}
+
+func (c *PBComb) onLockWrite(tid int) {
+	if c.track != nil {
+		c.track.LockWrite(tid)
+	}
+}
+
+func (c *PBComb) onReqRead(tid, q int) {
+	if c.track != nil {
+		c.track.ReqRead(tid, q)
+	}
+}
+
+func (c *PBComb) onReqWrite(tid, q int) {
+	if c.track != nil {
+		c.track.ReqWrite(tid, q)
+	}
+}
+
+func (c *PBComb) onStateRead(tid, off int) {
+	if c.track != nil {
+		c.track.StateRead(tid, off)
+	}
+}
+
+func (c *PBComb) onStateWrite(tid, off int) {
+	if c.track != nil {
+		c.track.StateWrite(tid, off)
+	}
+}
+
+func (c *PBComb) onRecCopy(tid, src, dst int) {
+	if c.track != nil {
+		c.track.RecCopy(tid, src, dst)
+	}
+}

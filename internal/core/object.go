@@ -1,0 +1,205 @@
+// Package core implements the paper's two recoverable software-combining
+// protocols: PBcomb (Algorithm 1, blocking) and PWFcomb (Algorithm 2,
+// wait-free). Both turn any sequential object into a detectably recoverable
+// concurrent object.
+//
+// The per-object combining state (the paper's StateRec) is laid out as one
+// contiguous block of persistent words —
+//
+//	[ object state | ReturnVal[0..n-1] | Deactivate[0..n-1] | Index[0..n-1] | pid ]
+//
+// (the Index vector and pid only exist for PWFcomb) — which is persistence
+// principle 3 made concrete: a combiner persists the whole record with one
+// ranged pwb over consecutive addresses.
+package core
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/pmem"
+)
+
+// State is a view of an object's state words inside a StateRec. All access
+// is word-atomic so that PWFcomb's optimistic copies are race-free.
+type State struct {
+	r   *pmem.Region
+	off int
+	n   int
+}
+
+// Words returns the number of state words.
+func (s State) Words() int { return s.n }
+
+// Load reads state word i.
+func (s State) Load(i int) uint64 {
+	if i < 0 || i >= s.n {
+		panic("core: state index out of range")
+	}
+	return s.r.Load(s.off + i)
+}
+
+// Store writes state word i.
+func (s State) Store(i int, v uint64) {
+	if i < 0 || i >= s.n {
+		panic("core: state index out of range")
+	}
+	s.r.Store(s.off+i, v)
+}
+
+// Request is one announced operation, as captured by a combiner.
+type Request struct {
+	Tid uint64 // announcing thread
+	Op  uint64 // object-defined operation code
+	A0  uint64 // first argument
+	A1  uint64 // second argument
+	Ret uint64 // response, filled in by Apply/ApplyBatch
+
+	act uint64 // captured activate bit; consumed by the combiner
+}
+
+// Env is the execution environment a combiner passes to the object while
+// serving a batch of requests.
+type Env struct {
+	// Ctx is the combiner's persistence context. Objects with state outside
+	// the StateRec (e.g. linked-list nodes) issue their own pwbs through it;
+	// those pwbs are ordered before the protocol's record pwb and covered by
+	// the same pfence/psync.
+	Ctx *pmem.Ctx
+	// State is the working copy of the object state the batch is applied to.
+	State State
+	// Combiner is the id of the thread acting as combiner.
+	Combiner int
+
+	dirty *dirtySet // non-nil under sparse persistence (NewPBCombSparse)
+}
+
+// MarkDirty records that state words [off, off+n) were written. Under
+// sparse persistence (NewPBCombSparse) the object MUST call it for every
+// state word it stores; otherwise it is a no-op.
+func (e *Env) MarkDirty(off, n int) {
+	if e.dirty != nil {
+		e.dirty.add(off, n)
+	}
+}
+
+// dirtySet tracks the state cache lines written during combining rounds
+// (line indices relative to the state's start, which is line-aligned).
+type dirtySet struct {
+	mark  []bool
+	lines []int
+}
+
+func newDirtySet(stWords int) *dirtySet {
+	return &dirtySet{mark: make([]bool, (stWords+pmem.LineWords-1)/pmem.LineWords)}
+}
+
+func (d *dirtySet) add(off, n int) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := off/pmem.LineWords, (off+n-1)/pmem.LineWords
+	for l := lo; l <= hi && l < len(d.mark); l++ {
+		if !d.mark[l] {
+			d.mark[l] = true
+			d.lines = append(d.lines, l)
+		}
+	}
+}
+
+func (d *dirtySet) reset() {
+	for _, l := range d.lines {
+		d.mark[l] = false
+	}
+	d.lines = d.lines[:0]
+}
+
+// Object is a sequential object that the combining protocols make
+// recoverable and concurrent. Implementations must touch shared memory only
+// through the provided State (and, for out-of-record structures, through
+// pmem regions they persist themselves via Env.Ctx).
+type Object interface {
+	// StateWords returns the fixed size of the object state in words.
+	StateWords() int
+	// Init establishes the initial state.
+	Init(s State)
+	// Apply executes one operation against s and fills in r.Ret.
+	Apply(env *Env, r *Request)
+}
+
+// BatchObject is an optional extension: objects that want to see the whole
+// combined batch at once (e.g. to run the paper's elimination optimization
+// on concurrent Push/Pop pairs) implement ApplyBatch instead of having
+// Apply called per request.
+type BatchObject interface {
+	Object
+	ApplyBatch(env *Env, reqs []Request)
+}
+
+// Protocol is the interface both combining protocols satisfy; recoverable
+// data structures are built against it so each comes in a blocking (PBcomb)
+// and a wait-free (PWFcomb) flavor.
+type Protocol interface {
+	// Invoke announces and executes one operation for thread tid; seq is the
+	// per-thread sequence number the system model provides (starts at 1,
+	// +1 per invocation).
+	Invoke(tid int, op, a0, a1, seq uint64) uint64
+	// Recover is the recovery function for tid's interrupted operation,
+	// called with the same arguments and seq as the original invocation.
+	Recover(tid int, op, a0, a1, seq uint64) uint64
+	// CurrentState views the currently valid object state (quiescent use).
+	CurrentState() State
+	// Ctx returns tid's persistence context.
+	Ctx(tid int) *pmem.Ctx
+	// Threads returns the number of threads.
+	Threads() int
+	// Name returns the instance's persistent name.
+	Name() string
+}
+
+// reqSlot is one entry of the volatile Request announcement array. Arguments
+// are published before the control word; the control word's atomic store /
+// load pair transfers them to the combiner.
+type reqSlot struct {
+	op  atomic.Uint64
+	a0  atomic.Uint64
+	a1  atomic.Uint64
+	ctl atomic.Uint64
+	_   [4]uint64 // pad to a full cache line (8 words total)
+}
+
+const (
+	ctlActivateBit = 1 << 0
+	ctlValidBit    = 1 << 1
+)
+
+func packCtl(activate uint64, valid bool) uint64 {
+	v := activate & 1
+	if valid {
+		v |= ctlValidBit
+	}
+	return v
+}
+
+func ctlActivate(ctl uint64) uint64 { return ctl & 1 }
+func ctlValid(ctl uint64) bool      { return ctl&ctlValidBit != 0 }
+
+// announce publishes a request in the slot.
+func (s *reqSlot) announce(op, a0, a1, activate uint64) {
+	s.op.Store(op)
+	s.a0.Store(a0)
+	s.a1.Store(a1)
+	s.ctl.Store(packCtl(activate, true))
+}
+
+// roundUpLine rounds n up to a whole number of cache lines so consecutive
+// StateRecs never share a line.
+func roundUpLine(n int) int {
+	r := n % pmem.LineWords
+	if r == 0 {
+		return n
+	}
+	return n + pmem.LineWords - r
+}
+
+// initMagic marks a protocol instance's persistent header as initialized.
+const initMagic = 0x9b9bc0b1_0001_0001 // arbitrary non-zero tag

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/memmodel"
+	"pcomb/internal/pmem"
+	"pcomb/internal/prim"
+)
+
+// PBComb is the paper's blocking recoverable combining protocol
+// (Algorithm 1). It keeps two StateRec records in NVMM and a one-word
+// persistent index MIndex selecting the current one; the announcement array,
+// the lock, and LockVal live in volatile memory (persistence principle 1).
+//
+// A PBComb instance is identified by its name: re-constructing it on the
+// same heap after a simulated crash re-opens the persistent regions and
+// resets all volatile parts, exactly like a process restart on real NVMM.
+type PBComb struct {
+	h    *pmem.Heap
+	name string
+	n    int
+	obj  Object
+	bobj BatchObject // non-nil if obj implements BatchObject
+
+	recWords int // words per StateRec (line-aligned)
+	stWords  int
+	retOff   int // offset of ReturnVal within a record
+	deactOff int // offset of Deactivate within a record
+
+	state *pmem.Region // 2 records
+	meta  *pmem.Region // word 0: MIndex; word LineWords: init magic
+
+	req     []reqSlot
+	lock    atomic.Uint64
+	lockVal atomic.Uint64
+
+	ctxs    []*pmem.Ctx
+	scratch [][]Request
+
+	// Coherence hot spots (see pmem.HotWord): the lock, the record-index
+	// word, the two records, and the announcement slots.
+	hotLock pmem.HotWord
+	hotMeta pmem.HotWord
+	hotRec  [2]pmem.HotWord
+	hotReq  []pmem.HotWord
+
+	// PostSync, when non-nil, runs on the combiner after the psync that
+	// makes its round durable and before the lock is released. PBqueue uses
+	// it to advance oldTail (Section 5).
+	PostSync func(env *Env)
+
+	// sparse selects sparse state persistence: the combiner persists only
+	// the state lines dirtied during the current and previous rounds (plus
+	// the ReturnVal/Deactivate tail) instead of the whole record. Sound
+	// because a record's durable copy is exactly two rounds stale, so the
+	// two most recent rounds' dirty sets cover every difference. Objects
+	// must report their writes via Env.MarkDirty. This lifts the paper's
+	// small-object guidance for large states (e.g. hash-table shards).
+	sparse    bool
+	dirtyCur  *dirtySet
+	dirtyPrev *dirtySet
+	booted    [2]bool // record has been fully persisted at least once
+
+	// durableOnly selects the durably-linearizable-only variant (Section 3):
+	// only the object state is persisted — neither ReturnVal nor Deactivate —
+	// so combiners write back fewer cache lines, and the protocol has null
+	// recovery (re-opening the instance *is* the recovery; Recover is
+	// unavailable and per-thread sequence numbers restart at 1).
+	durableOnly bool
+
+	track *memmodel.Hooks
+}
+
+// NewPBComb creates (or, after a crash, re-opens) a PBComb instance for n
+// threads driving the given sequential object.
+func NewPBComb(h *pmem.Heap, name string, n int, obj Object) *PBComb {
+	return newPBComb(h, name, n, obj, false)
+}
+
+// NewPBCombSparse creates a PBComb instance with sparse state persistence:
+// combiners persist only the state lines written during the last two rounds
+// plus the ReturnVal/Deactivate tail, instead of the whole record. The
+// object must call Env.MarkDirty for every state word it stores. Useful for
+// large states, where whole-record persists dominate (the size limitation
+// Section 3 discusses).
+func NewPBCombSparse(h *pmem.Heap, name string, n int, obj Object) *PBComb {
+	c := newPBComb(h, name, n, obj, false)
+	c.sparse = true
+	c.dirtyCur = newDirtySet(c.stWords)
+	c.dirtyPrev = newDirtySet(c.stWords)
+	// The record MIndex pointed to at open time was fully persisted (at
+	// init or by the pfence of the round that installed it); the other
+	// record's durable contents are arbitrary and must be persisted in full
+	// the first time it is used.
+	c.booted[c.meta.Load(0)&1] = true
+	return c
+}
+
+// NewPBCombDurable creates the durably-linearizable-only variant: it
+// persists only the object state (fewer lines per round) and has null
+// recovery — after a crash, re-opening the instance restores the state of
+// some prefix of completed operations, but responses of interrupted
+// operations are not recoverable and Recover panics.
+func NewPBCombDurable(h *pmem.Heap, name string, n int, obj Object) *PBComb {
+	return newPBComb(h, name, n, obj, true)
+}
+
+func newPBComb(h *pmem.Heap, name string, n int, obj Object, durableOnly bool) *PBComb {
+	if n <= 0 {
+		panic("core: need at least one thread")
+	}
+	c := &PBComb{h: h, name: name, n: n, obj: obj, stWords: obj.StateWords(), durableOnly: durableOnly}
+	c.bobj, _ = obj.(BatchObject)
+	c.retOff = c.stWords
+	c.deactOff = c.stWords + n
+	c.recWords = roundUpLine(c.stWords + 2*n)
+
+	c.state = h.AllocOrGet(name+"/pbcomb.state", 2*c.recWords)
+	c.meta = h.AllocOrGet(name+"/pbcomb.meta", 2*pmem.LineWords)
+
+	c.req = make([]reqSlot, n)
+	c.hotReq = make([]pmem.HotWord, n)
+	c.ctxs = make([]*pmem.Ctx, n)
+	c.scratch = make([][]Request, n)
+	for i := range c.ctxs {
+		c.ctxs[i] = h.NewCtx()
+		c.scratch[i] = make([]Request, 0, n)
+	}
+
+	if c.meta.Load(pmem.LineWords) != initMagic {
+		obj.Init(c.recState(0))
+		ctx := c.ctxs[0]
+		ctx.PWB(c.state, 0, c.recWords)
+		ctx.PFence()
+		c.meta.Store(0, 0) // MIndex
+		c.meta.Store(pmem.LineWords, initMagic)
+		ctx.PWB(c.meta, 0, 2*pmem.LineWords)
+		ctx.PSync()
+	}
+	return c
+}
+
+// SetTracker installs shared-memory access instrumentation (Table 1).
+func (c *PBComb) SetTracker(t *memmodel.Tracker) {
+	if t == nil {
+		c.track = nil
+		return
+	}
+	c.track = memmodel.NewHooks(t, c.n, c.stWords, c.recWords, len(c.req))
+}
+
+func (c *PBComb) recOff(i uint64) int { return int(i) * c.recWords }
+
+func (c *PBComb) recState(i uint64) State {
+	return State{r: c.state, off: c.recOff(i), n: c.stWords}
+}
+
+// Name returns the instance's persistent name.
+func (c *PBComb) Name() string { return c.name }
+
+// Threads returns the number of threads the instance was created for.
+func (c *PBComb) Threads() int { return c.n }
+
+// Ctx returns thread tid's persistence context (for objects that allocate
+// outside the combining record and for harness accounting).
+func (c *PBComb) Ctx(tid int) *pmem.Ctx { return c.ctxs[tid] }
+
+// CurrentState returns a read-only view of the currently valid object state.
+// It is safe only when no operations are in flight (harness/verification use).
+func (c *PBComb) CurrentState() State {
+	return c.recState(c.meta.Load(0))
+}
+
+// Invoke announces and executes one operation for thread tid. The caller
+// supplies a per-thread sequence number that starts at 1 and increases by 1
+// with every invocation; its low bit drives the activate/deactivate
+// detectability scheme, as in the paper's system model.
+func (c *PBComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
+	c.req[tid].announce(op, a0, a1, seq&1)
+	c.onReqWrite(tid, tid)
+	// Yield between announcing and competing for the lock: on oversubscribed
+	// cores this is what lets announcements accumulate into large combining
+	// batches (cf. the paper's Osci discussion); on dedicated cores it is a
+	// cheap no-op.
+	prim.Pause()
+	return c.perform(tid)
+}
+
+// Recover is the recovery function for thread tid's interrupted operation:
+// the system re-invokes it after a crash with the same arguments and seq as
+// the original invocation.
+func (c *PBComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
+	if c.durableOnly {
+		panic("core: the durably-linearizable-only variant has null recovery (no Recover)")
+	}
+	// Re-announce with the original toggle so a combiner neither re-executes
+	// a request that took effect nor skips one that did not.
+	c.req[tid].announce(op, a0, a1, seq&1)
+	mi := c.meta.Load(0)
+	if c.state.Load(c.recOff(mi)+c.deactOff+tid) != seq&1 {
+		return c.perform(tid)
+	}
+	return c.state.Load(c.recOff(mi) + c.retOff + tid)
+}
+
+// perform is the paper's PerformReqest: acquire the lock and combine, or
+// wait until a combiner has served our request.
+func (c *PBComb) perform(tid int) uint64 {
+	myActivate := ctlActivate(c.req[tid].ctl.Load())
+	for {
+		// Leave without ever acquiring the lock if a combiner has already
+		// served the announced request. The paper's listing performs this
+		// check after observing one lock transition (lines 16-18); checking
+		// it on entry as well preserves the same guarantee — before
+		// returning we wait out the combiner currently holding the lock, so
+		// the round that served us has completed its psync.
+		mi := c.meta.Load(0)
+		if c.state.Load(c.recOff(mi)+c.deactOff+tid) == myActivate {
+			c.onStateRead(tid, c.recOff(mi)+c.deactOff+tid)
+			if lv := c.lock.Load(); lv%2 == 1 {
+				for c.lock.Load() == lv {
+					if c.h.Crashed() {
+						panic(pmem.CrashError{})
+					}
+					prim.Pause()
+				}
+			}
+			mi = c.meta.Load(0)
+			return c.state.Load(c.recOff(mi) + c.retOff + tid)
+		}
+		lval := c.lock.Load()
+		c.onLockRead(tid)
+		if lval%2 == 0 {
+			c.h.Touch(&c.hotLock, tid)
+			if c.lock.CompareAndSwap(lval, lval+1) {
+				c.onLockWrite(tid)
+				return c.combine(tid, lval+1)
+			}
+			lval++
+		}
+		for c.lock.Load() == lval {
+			if c.h.Crashed() {
+				// The combiner we are waiting for died in a simulated
+				// crash; unwind like every other thread.
+				panic(pmem.CrashError{})
+			}
+			prim.Pause()
+		}
+		c.onLockRead(tid)
+		mi = c.meta.Load(0)
+		if c.state.Load(c.recOff(mi)+c.deactOff+tid) == myActivate {
+			c.onStateRead(tid, c.recOff(mi)+c.deactOff+tid)
+			// Our request was served. If it was served by a combiner later
+			// than the one we waited on, that combiner may not have
+			// completed its psync yet: wait for it to release the lock.
+			if c.lockVal.Load() != lval {
+				for c.lock.Load() == lval+2 {
+					if c.h.Crashed() {
+						panic(pmem.CrashError{})
+					}
+					prim.Pause()
+				}
+			}
+			mi = c.meta.Load(0)
+			return c.state.Load(c.recOff(mi) + c.retOff + tid)
+		}
+	}
+}
+
+// combine runs the combiner role: copy the current record, serve every
+// active valid request on the copy, persist the copy, flip MIndex, persist
+// it, and release the lock.
+func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
+	ctx := c.ctxs[tid]
+	mi := c.meta.Load(0)
+	ind := 1 - mi
+	src, dst := c.recOff(mi), c.recOff(ind)
+	c.h.Touch(&c.hotRec[mi&1], tid)
+	c.h.Touch(&c.hotRec[ind&1], tid)
+	c.state.CopyWords(dst, c.state, src, c.recWords)
+	c.onRecCopy(tid, int(mi), int(ind))
+
+	batch := c.scratch[tid][:0]
+	for q := 0; q < c.n; q++ {
+		ctl := c.req[q].ctl.Load()
+		c.onReqRead(tid, q)
+		if !ctlValid(ctl) {
+			continue
+		}
+		act := ctlActivate(ctl)
+		if act == c.state.Load(dst+c.deactOff+q) {
+			continue
+		}
+		c.h.Touch(&c.hotReq[q], tid)
+		batch = append(batch, Request{
+			Tid: uint64(q),
+			Op:  c.req[q].op.Load(),
+			A0:  c.req[q].a0.Load(),
+			A1:  c.req[q].a1.Load(),
+			act: act,
+		})
+	}
+	c.scratch[tid] = batch
+
+	env := &Env{Ctx: ctx, State: State{r: c.state, off: dst, n: c.stWords}, Combiner: tid}
+	if c.sparse {
+		env.dirty = c.dirtyCur
+	}
+	if c.bobj != nil {
+		c.bobj.ApplyBatch(env, batch)
+	} else {
+		for i := range batch {
+			c.obj.Apply(env, &batch[i])
+		}
+	}
+	for i := range batch {
+		q := int(batch[i].Tid)
+		c.state.Store(dst+c.retOff+q, batch[i].Ret)
+		c.state.Store(dst+c.deactOff+q, batch[i].act)
+		c.onStateWrite(tid, dst+c.retOff+q)
+	}
+
+	switch {
+	case c.durableOnly:
+		ctx.PWB(c.state, dst, c.stWords)
+	case c.sparse:
+		c.persistSparse(ctx, dst, int(ind))
+	default:
+		ctx.PWB(c.state, dst, c.recWords)
+	}
+	ctx.PFence()
+	c.lockVal.Store(c.lock.Load())
+	c.h.Touch(&c.hotMeta, tid)
+	c.meta.Store(0, ind)
+	c.onStateWrite(tid, -1) // MIndex switch
+	ctx.PWBLine(c.meta, 0)
+	ctx.PSync()
+	if c.PostSync != nil {
+		c.PostSync(env)
+	}
+	c.lock.Add(1)
+	c.onLockWrite(tid)
+
+	mi = c.meta.Load(0)
+	return c.state.Load(c.recOff(mi) + c.retOff + tid)
+}
+
+// persistSparse writes back the destination record incrementally: the state
+// lines dirtied in this round and the previous one (the durable copy of the
+// destination record is exactly two rounds old), plus the whole
+// ReturnVal/Deactivate tail. A record that was never fully persisted (its
+// durable bytes predate this instance) is persisted in full once.
+func (c *PBComb) persistSparse(ctx *pmem.Ctx, dst, ind int) {
+	if !c.booted[ind&1] {
+		ctx.PWB(c.state, dst, c.recWords)
+		c.booted[ind&1] = true
+	} else {
+		for _, l := range c.dirtyCur.lines {
+			ctx.PWB(c.state, dst+l*pmem.LineWords, pmem.LineWords)
+		}
+		for _, l := range c.dirtyPrev.lines {
+			if !c.dirtyCur.mark[l] {
+				ctx.PWB(c.state, dst+l*pmem.LineWords, pmem.LineWords)
+			}
+		}
+		ctx.PWB(c.state, dst+c.retOff, c.recWords-c.retOff)
+	}
+	c.dirtyCur, c.dirtyPrev = c.dirtyPrev, c.dirtyCur
+	c.dirtyCur.reset()
+}

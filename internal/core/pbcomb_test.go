@@ -1,0 +1,263 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+func shadowHeap() *pmem.Heap {
+	return pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+}
+
+// driver runs ops per thread against a combining protocol and tracks seq
+// numbers the way the paper's system model does.
+type invoker interface {
+	Invoke(tid int, op, a0, a1, seq uint64) uint64
+	Recover(tid int, op, a0, a1, seq uint64) uint64
+}
+
+func TestPBCombSequentialCounter(t *testing.T) {
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", 1, Counter{})
+	seq := uint64(1)
+	for i := 0; i < 100; i++ {
+		got := c.Invoke(0, OpCounterAdd, 1, 0, seq)
+		if got != uint64(i) {
+			t.Fatalf("op %d returned %d", i, got)
+		}
+		seq++
+	}
+	if v := c.Invoke(0, OpCounterGet, 0, 0, seq); v != 100 {
+		t.Fatalf("final value %d", v)
+	}
+}
+
+func TestPBCombConcurrentCounter(t *testing.T) {
+	const n, per = 8, 500
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", n, Counter{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := c.CurrentState().Load(0); v != n*per {
+		t.Fatalf("counter = %d, want %d", v, n*per)
+	}
+}
+
+func TestPBCombFetchAddReturnsUnique(t *testing.T) {
+	// Every fetch&add(1) must return a distinct previous value: exactly the
+	// linearizability obligation for a counter.
+	const n, per = 6, 300
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", n, Counter{})
+	rets := make([][]uint64, n)
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rets[tid] = append(rets[tid], c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n*per)
+	for _, rs := range rets {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("duplicate fetch&add return %d", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != n*per {
+		t.Fatalf("%d distinct returns, want %d", len(seen), n*per)
+	}
+}
+
+func TestPBCombAtomicFloat(t *testing.T) {
+	const n, per = 4, 200
+	h := shadowHeap()
+	c := NewPBComb(h, "af", n, AtomicFloat{Initial: 1})
+	k := math.Float64bits(1.0000001)
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpAtomicFloatMul, k, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	got := math.Float64frombits(c.CurrentState().Load(0))
+	want := math.Pow(1.0000001, n*per)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("value %v, want %v: lost updates", got, want)
+	}
+}
+
+func TestPBCombPersistenceCounters(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+	c := NewPBComb(h, "cnt", 1, Counter{})
+	h.ResetStats()
+	for i := 0; i < 100; i++ {
+		c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1)
+	}
+	s := h.Stats()
+	if s.Pwbs == 0 || s.Psyncs == 0 {
+		t.Fatalf("expected persistence instructions, got %+v", s)
+	}
+	// One combining round per op when uncontended: record (1 line) + MIndex
+	// (1 line) = 2 pwbs, 1 pfence, 1 psync per op.
+	if s.Pwbs != 200 || s.Pfences != 100 || s.Psyncs != 100 {
+		t.Fatalf("unexpected instruction counts: %+v", s)
+	}
+}
+
+func TestPBCombDurabilityAfterCrash(t *testing.T) {
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", 1, Counter{})
+	for i := 0; i < 10; i++ {
+		c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1)
+	}
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := NewPBComb(h, "cnt", 1, Counter{})
+	// All 10 operations completed before the crash, so they must survive.
+	if v := c2.CurrentState().Load(0); v != 10 {
+		t.Fatalf("recovered counter = %d, want 10", v)
+	}
+	// Detectability: recovering the last op must return its original value
+	// without re-executing.
+	if got := c2.Recover(0, OpCounterAdd, 1, 0, 10); got != 9 {
+		t.Fatalf("Recover returned %d, want 9", got)
+	}
+	if v := c2.CurrentState().Load(0); v != 10 {
+		t.Fatalf("Recover re-executed a completed op: counter = %d", v)
+	}
+}
+
+func TestPBCombCrashPointSweep(t *testing.T) {
+	// Crash at every persistence event of a scripted history; after recovery
+	// the counter must reflect a prefix of completed ops and Recover must be
+	// exactly-once for the interrupted op.
+	const opsBefore = 3
+	for k := int64(1); ; k++ {
+		h := shadowHeap()
+		c := NewPBComb(h, "cnt", 1, Counter{})
+		ctx := c.Ctx(0)
+		for i := 0; i < opsBefore; i++ {
+			c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1)
+		}
+		base := ctx.Instr()
+		ctx.SetCrashAt(k)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			c.Invoke(0, OpCounterAdd, 1, 0, opsBefore+1)
+		}()
+		if !crashed {
+			// The op completed before event k fired: sweep done.
+			if k <= 1 {
+				t.Fatal("sweep never crashed")
+			}
+			if ctx.Instr()-base >= k {
+				t.Fatal("crash injection failed to fire")
+			}
+			return
+		}
+		h.Crash(pmem.DropUnfenced, k)
+		c2 := NewPBComb(h, "cnt", 1, Counter{})
+		got := c2.Recover(0, OpCounterAdd, 1, 0, opsBefore+1)
+		if got != opsBefore {
+			t.Fatalf("crash@%d: recovered op returned %d, want %d", k, got, opsBefore)
+		}
+		if v := c2.CurrentState().Load(0); v != opsBefore+1 {
+			t.Fatalf("crash@%d: counter = %d, want %d (exactly-once)", k, v, opsBefore+1)
+		}
+	}
+}
+
+func TestPBCombRecoverOfUnappliedOp(t *testing.T) {
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", 1, Counter{})
+	c.Invoke(0, OpCounterAdd, 1, 0, 1)
+	// Simulate a crash that arrives before op seq=2 even announces: recovery
+	// must execute it exactly once.
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := NewPBComb(h, "cnt", 1, Counter{})
+	if got := c2.Recover(0, OpCounterAdd, 1, 0, 2); got != 1 {
+		t.Fatalf("Recover of unapplied op returned %d, want 1", got)
+	}
+	if v := c2.CurrentState().Load(0); v != 2 {
+		t.Fatalf("counter = %d, want 2", v)
+	}
+}
+
+func TestPBCombManyThreadsOversubscribed(t *testing.T) {
+	// More goroutines than CPUs: combining must stay live (spin loops yield).
+	const n, per = 32, 50
+	h := shadowHeap()
+	c := NewPBComb(h, "cnt", n, Counter{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := c.CurrentState().Load(0); v != n*per {
+		t.Fatalf("counter = %d, want %d", v, n*per)
+	}
+}
+
+func TestPBCombRegisterFileTransferConservation(t *testing.T) {
+	const n, per, accounts = 4, 200, 8
+	h := shadowHeap()
+	c := NewPBComb(h, "bank", n, RegisterFile{Words: accounts, Initial: 100})
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				from := uint64((tid + i) % accounts)
+				to := uint64((tid + i + 1) % accounts)
+				c.Invoke(tid, OpRegTransfer, from, to, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	total := uint64(0)
+	st := c.CurrentState()
+	for i := 0; i < accounts; i++ {
+		total += st.Load(i)
+	}
+	if total != accounts*100 {
+		t.Fatalf("money not conserved: %d", total)
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+func TestPWFCombSequentialCounter(t *testing.T) {
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", 1, Counter{})
+	for i := 0; i < 100; i++ {
+		if got := c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1); got != uint64(i) {
+			t.Fatalf("op %d returned %d", i, got)
+		}
+	}
+	if v := c.CurrentState().Load(0); v != 100 {
+		t.Fatalf("final value %d", v)
+	}
+}
+
+func TestPWFCombConcurrentCounter(t *testing.T) {
+	const n, per = 8, 400
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", n, Counter{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := c.CurrentState().Load(0); v != n*per {
+		t.Fatalf("counter = %d, want %d", v, n*per)
+	}
+}
+
+func TestPWFCombFetchAddReturnsUnique(t *testing.T) {
+	const n, per = 6, 250
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", n, Counter{})
+	rets := make([][]uint64, n)
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rets[tid] = append(rets[tid], c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1))
+			}
+		}(tid)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, n*per)
+	for _, rs := range rets {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("duplicate fetch&add return %d", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != n*per {
+		t.Fatalf("%d distinct returns, want %d", len(seen), n*per)
+	}
+}
+
+func TestPWFCombAtomicFloat(t *testing.T) {
+	const n, per = 4, 150
+	h := shadowHeap()
+	c := NewPWFComb(h, "af", n, AtomicFloat{Initial: 1})
+	k := math.Float64bits(1.0000001)
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpAtomicFloatMul, k, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	got := math.Float64frombits(c.CurrentState().Load(0))
+	want := math.Pow(1.0000001, n*per)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("value %v, want %v: lost updates", got, want)
+	}
+}
+
+func TestPWFCombDurabilityAfterCrash(t *testing.T) {
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", 2, Counter{})
+	for i := 0; i < 10; i++ {
+		c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1)
+	}
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := NewPWFComb(h, "cnt", 2, Counter{})
+	if v := c2.CurrentState().Load(0); v != 10 {
+		t.Fatalf("recovered counter = %d, want 10", v)
+	}
+	if got := c2.Recover(0, OpCounterAdd, 1, 0, 10); got != 9 {
+		t.Fatalf("Recover returned %d, want 9", got)
+	}
+	if v := c2.CurrentState().Load(0); v != 10 {
+		t.Fatalf("Recover re-executed a completed op: %d", v)
+	}
+}
+
+func TestPWFCombCrashPointSweep(t *testing.T) {
+	const opsBefore = 3
+	for k := int64(1); ; k++ {
+		h := shadowHeap()
+		c := NewPWFComb(h, "cnt", 1, Counter{})
+		ctx := c.Ctx(0)
+		for i := 0; i < opsBefore; i++ {
+			c.Invoke(0, OpCounterAdd, 1, 0, uint64(i)+1)
+		}
+		ctx.SetCrashAt(k)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			c.Invoke(0, OpCounterAdd, 1, 0, opsBefore+1)
+		}()
+		if !crashed {
+			if k <= 1 {
+				t.Fatal("sweep never crashed")
+			}
+			return
+		}
+		h.Crash(pmem.DropUnfenced, k)
+		c2 := NewPWFComb(h, "cnt", 1, Counter{})
+		got := c2.Recover(0, OpCounterAdd, 1, 0, opsBefore+1)
+		if got != opsBefore {
+			t.Fatalf("crash@%d: recovered op returned %d, want %d", k, got, opsBefore)
+		}
+		if v := c2.CurrentState().Load(0); v != opsBefore+1 {
+			t.Fatalf("crash@%d: counter = %d, want %d (exactly-once)", k, v, opsBefore+1)
+		}
+	}
+}
+
+func TestPWFCombIndexToggleAcrossCrash(t *testing.T) {
+	// The Index vector is persisted inside each record so a recovered thread
+	// never reuses the record S points to. Run ops, crash, reopen, run more:
+	// values must stay exactly-once.
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", 2, Counter{})
+	seq := uint64(1)
+	for i := 0; i < 7; i++ {
+		c.Invoke(0, OpCounterAdd, 1, 0, seq)
+		seq++
+	}
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := NewPWFComb(h, "cnt", 2, Counter{})
+	if got := c2.Recover(0, OpCounterAdd, 1, 0, seq-1); got != 6 {
+		t.Fatalf("Recover = %d", got)
+	}
+	for i := 0; i < 7; i++ {
+		c2.Invoke(0, OpCounterAdd, 1, 0, seq)
+		seq++
+	}
+	if v := c2.CurrentState().Load(0); v != 14 {
+		t.Fatalf("counter = %d, want 14", v)
+	}
+}
+
+func TestPWFCombOversubscribed(t *testing.T) {
+	const n, per = 24, 40
+	h := shadowHeap()
+	c := NewPWFComb(h, "cnt", n, Counter{})
+	var wg sync.WaitGroup
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Invoke(tid, OpCounterAdd, 1, 0, uint64(i)+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if v := c.CurrentState().Load(0); v != n*per {
+		t.Fatalf("counter = %d, want %d", v, n*per)
+	}
+}
+
+func TestBothProtocolsAgree(t *testing.T) {
+	// Property-style cross-check: the same operation stream produces the
+	// same state under PBcomb and PWFcomb.
+	h := shadowHeap()
+	pb := NewPBComb(h, "pb", 1, RegisterFile{Words: 4})
+	wf := NewPWFComb(h, "wf", 1, RegisterFile{Words: 4})
+	ops := []struct{ op, a0, a1 uint64 }{
+		{OpRegWrite, 0, 5}, {OpRegWrite, 1, 9}, {OpRegTransfer, 1, 0},
+		{OpRegRead, 0, 0}, {OpRegWrite, 3, 2}, {OpRegTransfer, 0, 3},
+	}
+	for i, o := range ops {
+		a := pb.Invoke(0, o.op, o.a0, o.a1, uint64(i)+1)
+		b := wf.Invoke(0, o.op, o.a0, o.a1, uint64(i)+1)
+		if a != b {
+			t.Fatalf("op %d: PBcomb=%d PWFcomb=%d", i, a, b)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if pb.CurrentState().Load(i) != wf.CurrentState().Load(i) {
+			t.Fatalf("state word %d differs", i)
+		}
+	}
+}

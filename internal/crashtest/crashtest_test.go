@@ -1,0 +1,109 @@
+package crashtest
+
+import (
+	"testing"
+
+	"pcomb/internal/heap"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+const (
+	fuzzThreads = 4
+	fuzzOps     = 300
+	fuzzRounds  = 3
+)
+
+func TestFuzzCounterPB(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if _, err := FuzzCounter(false, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzCounterPWF(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if _, err := FuzzCounter(true, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzQueuePB(t *testing.T) {
+	opt := queue.Options{Recycling: true, Capacity: 1 << 16, ChunkSize: 32}
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzQueue(queue.Blocking, opt, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzQueuePWF(t *testing.T) {
+	opt := queue.Options{Capacity: 1 << 16, ChunkSize: 32}
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzQueue(queue.WaitFree, opt, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzStackPB(t *testing.T) {
+	opt := stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 16, ChunkSize: 32}
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzStack(stack.Blocking, opt, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzStackPWF(t *testing.T) {
+	opt := stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 16, ChunkSize: 32}
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzStack(stack.WaitFree, opt, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzHeapPB(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzHeap(heap.Blocking, 1024, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzHeapPWF(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzHeap(heap.WaitFree, 1024, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := FuzzCounter(false, 2, 50, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() == "" || rep.Crashes != 1 {
+		t.Fatalf("bad report %+v", rep)
+	}
+}
+
+func TestFuzzMapPB(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzMap(0, 4, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzMapPWF(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzMap(1, 4, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"pcomb/internal/core"
+	"pcomb/internal/heap"
+	"pcomb/internal/pmem"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+// pendingOp is what a worker was doing when the crash hit: enough to call
+// the recovery function with the original arguments, as the system model
+// requires.
+type pendingOp struct {
+	active bool
+	op     uint64
+	a0     uint64
+	seq    uint64
+	_      [4]uint64
+}
+
+// FuzzQueue runs `rounds` crash rounds against one queue instance and
+// verifies detectable recoverability. Each value is unique, so the checker
+// can account for every operation exactly once.
+func FuzzQueue(kind queue.Kind, opt queue.Options, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	q := queue.New(h, "fq", n, kind, opt)
+
+	var rep Report
+	rep.Seeds = 1
+	eseq := make([]uint64, n)
+	dseq := make([]uint64, n)
+	enqueued := map[uint64]bool{}
+	consumed := map[uint64]bool{}
+
+	for round := 0; round < rounds; round++ {
+		pend := make([]pendingOp, n)
+		localEnq := make([][]uint64, n)
+		localCon := make([][]uint64, n)
+		tRngs := make([]*rand.Rand, n)
+		for i := range tRngs {
+			tRngs[i] = rand.New(rand.NewSource(seed*1000 + int64(round*n+i)))
+		}
+		runRound(h, n, opsPerThread, rng, func(tid, i int) {
+			r := tRngs[tid]
+			if r.Intn(2) == 0 {
+				v := uint64(round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
+				eseq[tid]++
+				pend[tid] = pendingOp{active: true, op: queue.OpEnq, a0: v, seq: eseq[tid]}
+				q.Enqueue(tid, v, eseq[tid])
+				localEnq[tid] = append(localEnq[tid], v)
+				pend[tid].active = false
+			} else {
+				dseq[tid]++
+				pend[tid] = pendingOp{active: true, op: queue.OpDeq, seq: dseq[tid]}
+				if v, ok := q.Dequeue(tid, dseq[tid]); ok {
+					localCon[tid] = append(localCon[tid], v)
+				}
+				pend[tid].active = false
+			}
+			rep.addOp()
+		})
+		rep.Crashes++
+		h.FinishCrash(policyFor(rng), seed+int64(round))
+		q = queue.New(h, "fq", n, kind, opt)
+
+		for tid := 0; tid < n; tid++ {
+			for _, v := range localEnq[tid] {
+				enqueued[v] = true
+			}
+			for _, v := range localCon[tid] {
+				if consumed[v] {
+					return rep, fmt.Errorf("round %d: value %x consumed twice", round, v)
+				}
+				consumed[v] = true
+			}
+			if pend[tid].active {
+				rep.Recovered++
+				if pend[tid].op == queue.OpEnq {
+					q.RecoverEnqueue(tid, pend[tid].a0, pend[tid].seq)
+					enqueued[pend[tid].a0] = true
+				} else {
+					if v, ok := q.RecoverDequeue(tid, pend[tid].seq); ok {
+						if consumed[v] {
+							return rep, fmt.Errorf("round %d: recovered dequeue re-consumed %x", round, v)
+						}
+						consumed[v] = true
+					}
+				}
+			}
+		}
+		// Conservation and sanity of the durable residue.
+		residue := q.Snapshot()
+		seen := map[uint64]bool{}
+		for _, v := range residue {
+			if !enqueued[v] {
+				return rep, fmt.Errorf("round %d: phantom residue value %x", round, v)
+			}
+			if consumed[v] {
+				return rep, fmt.Errorf("round %d: consumed value %x still in queue", round, v)
+			}
+			if seen[v] {
+				return rep, fmt.Errorf("round %d: duplicate residue value %x", round, v)
+			}
+			seen[v] = true
+		}
+		for v := range consumed {
+			if !enqueued[v] {
+				return rep, fmt.Errorf("round %d: consumed never-enqueued value %x", round, v)
+			}
+		}
+		for v := range enqueued {
+			if !consumed[v] && !seen[v] {
+				return rep, fmt.Errorf("round %d: enqueued value %x lost", round, v)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FuzzStack is the stack analogue of FuzzQueue.
+func FuzzStack(kind stack.Kind, opt stack.Options, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	s := stack.New(h, "fs", n, kind, opt)
+
+	var rep Report
+	rep.Seeds = 1
+	seq := make([]uint64, n)
+	pushed := map[uint64]bool{}
+	popped := map[uint64]bool{}
+
+	for round := 0; round < rounds; round++ {
+		pend := make([]pendingOp, n)
+		localPush := make([][]uint64, n)
+		localPop := make([][]uint64, n)
+		tRngs := make([]*rand.Rand, n)
+		for i := range tRngs {
+			tRngs[i] = rand.New(rand.NewSource(seed*3000 + int64(round*n+i)))
+		}
+		runRound(h, n, opsPerThread, rng, func(tid, i int) {
+			r := tRngs[tid]
+			seq[tid]++
+			if r.Intn(2) == 0 {
+				v := uint64(round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
+				pend[tid] = pendingOp{active: true, op: stack.OpPush, a0: v, seq: seq[tid]}
+				s.Push(tid, v, seq[tid])
+				localPush[tid] = append(localPush[tid], v)
+			} else {
+				pend[tid] = pendingOp{active: true, op: stack.OpPop, seq: seq[tid]}
+				if v, ok := s.Pop(tid, seq[tid]); ok {
+					localPop[tid] = append(localPop[tid], v)
+				}
+			}
+			pend[tid].active = false
+			rep.addOp()
+		})
+		rep.Crashes++
+		h.FinishCrash(policyFor(rng), seed+int64(round))
+		s = stack.New(h, "fs", n, kind, opt)
+
+		for tid := 0; tid < n; tid++ {
+			for _, v := range localPush[tid] {
+				pushed[v] = true
+			}
+			for _, v := range localPop[tid] {
+				if popped[v] {
+					return rep, fmt.Errorf("round %d: value %x popped twice", round, v)
+				}
+				popped[v] = true
+			}
+			if pend[tid].active {
+				rep.Recovered++
+				ret := s.Recover(tid, pend[tid].op, pend[tid].a0, pend[tid].seq)
+				if pend[tid].op == stack.OpPush {
+					pushed[pend[tid].a0] = true
+				} else if ret != stack.Empty {
+					if popped[ret] {
+						return rep, fmt.Errorf("round %d: recovered pop re-consumed %x", round, ret)
+					}
+					popped[ret] = true
+				}
+			}
+		}
+		residue := map[uint64]bool{}
+		for _, v := range s.Snapshot() {
+			if !pushed[v] || popped[v] || residue[v] {
+				return rep, fmt.Errorf("round %d: inconsistent residue value %x", round, v)
+			}
+			residue[v] = true
+		}
+		for v := range pushed {
+			if !popped[v] && !residue[v] {
+				return rep, fmt.Errorf("round %d: pushed value %x lost", round, v)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FuzzHeap crash-fuzzes PBheap/PWFheap: key conservation plus the heap
+// invariant after every recovery.
+func FuzzHeap(kind heap.Kind, bound, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	hp := heap.New(h, "fh", n, kind, bound)
+
+	var rep Report
+	rep.Seeds = 1
+	seq := make([]uint64, n)
+	inserted := map[uint64]int{} // key multiset (keys are unique by construction)
+	deleted := map[uint64]int{}
+
+	for round := 0; round < rounds; round++ {
+		pend := make([]pendingOp, n)
+		localIns := make([][]uint64, n)
+		localInsOK := make([][]bool, n)
+		localDel := make([][]uint64, n)
+		tRngs := make([]*rand.Rand, n)
+		for i := range tRngs {
+			tRngs[i] = rand.New(rand.NewSource(seed*7000 + int64(round*n+i)))
+		}
+		runRound(h, n, opsPerThread, rng, func(tid, i int) {
+			r := tRngs[tid]
+			seq[tid]++
+			if r.Intn(2) == 0 {
+				key := uint64(round+1)<<40 | uint64(tid+1)<<24 | uint64(i) + 1
+				pend[tid] = pendingOp{active: true, op: heap.OpInsert, a0: key, seq: seq[tid]}
+				ok := hp.Insert(tid, key, seq[tid])
+				localIns[tid] = append(localIns[tid], key)
+				localInsOK[tid] = append(localInsOK[tid], ok)
+			} else {
+				pend[tid] = pendingOp{active: true, op: heap.OpDeleteMin, seq: seq[tid]}
+				if v, ok := hp.DeleteMin(tid, seq[tid]); ok {
+					localDel[tid] = append(localDel[tid], v)
+				}
+			}
+			pend[tid].active = false
+			rep.addOp()
+		})
+		rep.Crashes++
+		h.FinishCrash(policyFor(rng), seed+int64(round))
+		hp = heap.New(h, "fh", n, kind, bound)
+
+		for tid := 0; tid < n; tid++ {
+			for j, key := range localIns[tid] {
+				if localInsOK[tid][j] {
+					inserted[key]++
+				}
+			}
+			for _, v := range localDel[tid] {
+				deleted[v]++
+			}
+			if pend[tid].active {
+				rep.Recovered++
+				ret := hp.Recover(tid, pend[tid].op, pend[tid].a0, pend[tid].seq)
+				if pend[tid].op == heap.OpInsert {
+					if ret == heap.InsertOK {
+						inserted[pend[tid].a0]++
+					}
+				} else if ret != heap.Empty {
+					deleted[ret]++
+				}
+			}
+		}
+		residue := map[uint64]int{}
+		keys := hp.Keys()
+		for i, k := range keys {
+			residue[k]++
+			l, r := 2*i+1, 2*i+2
+			if l < len(keys) && keys[l] < k {
+				return rep, fmt.Errorf("round %d: heap invariant violated", round)
+			}
+			if r < len(keys) && keys[r] < k {
+				return rep, fmt.Errorf("round %d: heap invariant violated", round)
+			}
+		}
+		for k, cnt := range inserted {
+			if deleted[k]+residue[k] != cnt {
+				return rep, fmt.Errorf("round %d: key %x inserted %d, found %d",
+					round, k, cnt, deleted[k]+residue[k])
+			}
+		}
+		for k, cnt := range deleted {
+			if cnt > inserted[k] {
+				return rep, fmt.Errorf("round %d: key %x deleted more than inserted", round, k)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// FuzzCounter crash-fuzzes a fetch&add counter on either protocol: every
+// applied increment returns a distinct previous value, and the final total
+// equals the number of resolved operations.
+func FuzzCounter(waitFree bool, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	mk := func() core.Protocol {
+		if waitFree {
+			return core.NewPWFComb(h, "fc", n, core.Counter{})
+		}
+		return core.NewPBComb(h, "fc", n, core.Counter{})
+	}
+	c := mk()
+
+	var rep Report
+	rep.Seeds = 1
+	seq := make([]uint64, n)
+	rets := map[uint64]bool{}
+	total := uint64(0)
+
+	for round := 0; round < rounds; round++ {
+		pend := make([]pendingOp, n)
+		localRets := make([][]uint64, n)
+		runRound(h, n, opsPerThread, rng, func(tid, i int) {
+			seq[tid]++
+			pend[tid] = pendingOp{active: true, op: core.OpCounterAdd, a0: 1, seq: seq[tid]}
+			r := c.Invoke(tid, core.OpCounterAdd, 1, 0, seq[tid])
+			localRets[tid] = append(localRets[tid], r)
+			pend[tid].active = false
+			rep.addOp()
+		})
+		rep.Crashes++
+		h.FinishCrash(policyFor(rng), seed+int64(round))
+		c = mk()
+
+		for tid := 0; tid < n; tid++ {
+			for _, r := range localRets[tid] {
+				if rets[r] {
+					return rep, fmt.Errorf("round %d: duplicate return %d", round, r)
+				}
+				rets[r] = true
+				total++
+			}
+			if pend[tid].active {
+				rep.Recovered++
+				r := c.Recover(tid, core.OpCounterAdd, 1, 0, pend[tid].seq)
+				if rets[r] {
+					return rep, fmt.Errorf("round %d: recovered op duplicated return %d", round, r)
+				}
+				rets[r] = true
+				total++
+			}
+		}
+		if got := c.CurrentState().Load(0); got != total {
+			return rep, fmt.Errorf("round %d: counter = %d, resolved ops = %d", round, got, total)
+		}
+	}
+	return rep, nil
+}
+
+func (r *Report) addOp() { atomic.AddUint64(&r.OpsApplied, 1) }

@@ -1,0 +1,115 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pcomb/internal/hashmap"
+	"pcomb/internal/pmem"
+)
+
+// FuzzMap crash-fuzzes the sharded recoverable hash map: after every crash
+// round and recovery, the map must agree with an oracle reconstructed from
+// the per-thread operation logs plus the recovery results.
+func FuzzMap(kind hashmap.Kind, shards, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	m := hashmap.New(h, "fm", n, kind, shards, 1<<16)
+
+	var rep Report
+	rep.Seeds = 1
+	// Keys are disjoint per thread, so each thread's last committed write
+	// to a key is the oracle value — no cross-thread ordering ambiguity.
+	oracle := map[uint64]uint64{}
+
+	type rec struct {
+		op, key, val uint64
+	}
+
+	for round := 0; round < rounds; round++ {
+		committed := make([][]rec, n)
+		pendOp := make([]rec, n)
+		pendActive := make([]bool, n)
+		tRngs := make([]*rand.Rand, n)
+		for i := range tRngs {
+			tRngs[i] = rand.New(rand.NewSource(seed*11000 + int64(round*n+i)))
+		}
+		runRound(h, n, opsPerThread, rng, func(tid, i int) {
+			r := tRngs[tid]
+			key := uint64(tid)<<32 | uint64(r.Intn(64)) + 1
+			switch r.Intn(3) {
+			case 0:
+				val := uint64(round+1)<<40 | uint64(i) + 1
+				pendOp[tid] = rec{hashmap.OpPut, key, val}
+				pendActive[tid] = true
+				m.Put(tid, key, val)
+				committed[tid] = append(committed[tid], rec{hashmap.OpPut, key, val})
+			case 1:
+				pendOp[tid] = rec{hashmap.OpDel, key, 0}
+				pendActive[tid] = true
+				m.Delete(tid, key)
+				committed[tid] = append(committed[tid], rec{hashmap.OpDel, key, 0})
+			default:
+				pendOp[tid] = rec{hashmap.OpGet, key, 0}
+				pendActive[tid] = true
+				m.Get(tid, key)
+				committed[tid] = append(committed[tid], rec{hashmap.OpGet, key, 0})
+			}
+			pendActive[tid] = false
+			rep.addOp()
+		})
+		rep.Crashes++
+		h.FinishCrash(policyFor(rng), seed+int64(round))
+		m = hashmap.New(h, "fm", n, kind, shards, 1<<16)
+
+		for tid := 0; tid < n; tid++ {
+			for _, c := range committed[tid] {
+				applyOracle(oracle, c.op, c.key, c.val)
+			}
+			if pendActive[tid] {
+				rep.Recovered++
+				op, key, _, pending := m.Recover(tid)
+				if !pending {
+					return rep, fmt.Errorf("round %d: in-flight op of tid %d not pending", round, tid)
+				}
+				if op != pendOp[tid].op || key != pendOp[tid].key {
+					return rep, fmt.Errorf("round %d: recovered wrong op (%d,%x) want (%d,%x)",
+						round, op, key, pendOp[tid].op, pendOp[tid].key)
+				}
+				applyOracle(oracle, pendOp[tid].op, pendOp[tid].key, pendOp[tid].val)
+			}
+		}
+
+		// The recovered map must agree with the oracle.
+		for key, want := range oracle {
+			got, ok := m.Get(int(key>>32), key)
+			if !ok || got != want {
+				return rep, fmt.Errorf("round %d: key %x = %d,%v want %d", round, key, got, ok, want)
+			}
+		}
+		live := 0
+		bad := false
+		m.Range(func(k, v uint64) bool {
+			live++
+			if w, ok := oracle[k]; !ok || w != v {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad || live != len(oracle) {
+			return rep, fmt.Errorf("round %d: map/oracle divergence (live=%d oracle=%d)",
+				round, live, len(oracle))
+		}
+	}
+	return rep, nil
+}
+
+func applyOracle(oracle map[uint64]uint64, op, key, val uint64) {
+	switch op {
+	case hashmap.OpPut:
+		oracle[key] = val
+	case hashmap.OpDel:
+		delete(oracle, key)
+	}
+}

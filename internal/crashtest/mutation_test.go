@@ -1,0 +1,87 @@
+package crashtest
+
+import (
+	"testing"
+
+	"pcomb/internal/core"
+	"pcomb/internal/pmem"
+)
+
+// These mutation tests validate the verification harness itself: a
+// deliberately broken configuration must be CAUGHT by the same checks the
+// real algorithms pass. A checker that never fails anything proves nothing.
+
+// TestMissingPsyncBreaksDurability is the paper's own Gedankenexperiment
+// ("assume now that the psync of line 32 is missing...") made executable:
+// with psync turned into a NOP, the MIndex write-back is never drained, so
+// a DropUnfenced crash rolls the object back past operations that already
+// returned — a durable-linearizability violation our checkers detect.
+func TestMissingPsyncBreaksDurability(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true, PsyncOff: true})
+	c := core.NewPBComb(h, "mp", 1, core.Counter{})
+	const ops = 5
+	for i := uint64(1); i <= ops; i++ {
+		c.Invoke(0, core.OpCounterAdd, 1, 0, i)
+	}
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := core.NewPBComb(h, "mp", 1, core.Counter{})
+	got := c2.CurrentState().Load(0)
+	if got == ops {
+		t.Fatalf("psync-free protocol recovered all %d ops: the mutation test is vacuous "+
+			"(the durability checker could never fire)", ops)
+	}
+	t.Logf("recovered %d of %d completed ops without psync — violation visible to the checkers", got, ops)
+}
+
+// TestSabotagedMIndexIsVisible emulates the missing-pfence bug of Section 3
+// (pwb(MIndex) overtaking pwb(record)) by flipping the durable MIndex to
+// the record whose contents were never persisted, and shows the corruption
+// is observable after recovery.
+func TestSabotagedMIndexIsVisible(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	c := core.NewPBComb(h, "bc", 1, core.Counter{})
+	for i := uint64(1); i <= 3; i++ {
+		c.Invoke(0, core.OpCounterAdd, 1, 0, i)
+	}
+	meta := h.Region("bc/pbcomb.meta")
+	meta.DirectStore(0, 1-meta.Load(0))
+	h.Crash(pmem.DropUnfenced, 1)
+	c2 := core.NewPBComb(h, "bc", 1, core.Counter{})
+	if got := c2.CurrentState().Load(0); got == 3 {
+		t.Fatal("sabotage had no effect; MIndex does not actually select the valid record?")
+	}
+}
+
+// TestSeqParityMisuseIsBenignlyIdempotent documents why the seq contract
+// matters: reusing a sequence number of the same parity makes the protocol
+// treat the announcement as already served (the detectability mechanism
+// working as designed), so the op is NOT applied twice. The system area in
+// the public API exists to make such reuse impossible.
+func TestSeqParityMisuseIsBenignlyIdempotent(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	c := core.NewPBComb(h, "sp", 1, core.Counter{})
+	c.Invoke(0, core.OpCounterAdd, 1, 0, 1)
+	c.Invoke(0, core.OpCounterAdd, 1, 0, 2)
+	c.Invoke(0, core.OpCounterAdd, 1, 0, 2) // same parity: treated as served
+	if got := c.CurrentState().Load(0); got != 2 {
+		t.Fatalf("counter = %d; same-parity reuse must not re-apply", got)
+	}
+}
+
+// TestAdversariesDiffer shows the crash policies genuinely disagree about
+// the same pending write-back, so fuzzing across all of them adds coverage.
+func TestAdversariesDiffer(t *testing.T) {
+	outcomes := map[pmem.CrashPolicy]uint64{}
+	for _, pol := range []pmem.CrashPolicy{pmem.DropUnfenced, pmem.ApplyAll} {
+		h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+		r := h.Alloc("a", 8)
+		c := h.NewCtx()
+		r.Store(0, 9)
+		c.PWB(r, 0, 1) // scheduled, never fenced
+		h.Crash(pol, 1)
+		outcomes[pol] = r.Load(0)
+	}
+	if outcomes[pmem.DropUnfenced] != 0 || outcomes[pmem.ApplyAll] != 9 {
+		t.Fatalf("adversaries indistinguishable: %v", outcomes)
+	}
+}

@@ -1,0 +1,154 @@
+// Package harness drives the paper's evaluation: it reproduces the workload
+// of Section 6 (10^7/n operations per thread with a random local-work loop
+// of at most 512 dummy iterations between operations) and regenerates every
+// figure and table as printable series.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pcomb/internal/pmem"
+)
+
+// LocalWorkMax is the paper's bound on the random local-work loop.
+const LocalWorkMax = 512
+
+// OpFunc executes the i-th operation of thread tid.
+type OpFunc func(tid int, i uint64, rng *rand.Rand)
+
+// Result is one measured point of a series.
+type Result struct {
+	Algorithm string
+	Threads   int
+	Ops       uint64
+	Elapsed   time.Duration
+	Mops      float64
+	PwbsPerOp float64
+	Extra     map[string]float64
+}
+
+// Series is one line of a figure: an algorithm across thread counts.
+type Series struct {
+	Name   string
+	Points []Result
+}
+
+// Measure runs totalOps operations split across n goroutines, with the
+// paper's local-work loop between operations, and reports throughput plus
+// per-operation persistence-instruction counts from the heap.
+func Measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc) Result {
+	per := totalOps / uint64(n)
+	if per == 0 {
+		per = 1
+	}
+	h.ResetStats()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for tid := 0; tid < n; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)*2654435761 + 1))
+			sink := uint64(0)
+			for i := uint64(0); i < per; i++ {
+				op(tid, i, rng)
+				w := rng.Uint64() % LocalWorkMax
+				for j := uint64(0); j < w; j++ {
+					sink += j
+				}
+				// One yield per operation: on a host with fewer cores than
+				// simulated threads this forces the fine-grained interleaving
+				// that dedicated cores would produce, so the coherence cost
+				// model (pmem.HotWord) sees realistic ownership churn for
+				// every algorithm equally.
+				runtime.Gosched()
+			}
+			localSink(sink)
+		}(tid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	ops := per * uint64(n)
+	st := h.Stats()
+	return Result{
+		Algorithm: alg,
+		Threads:   n,
+		Ops:       ops,
+		Elapsed:   elapsed,
+		Mops:      float64(ops) / elapsed.Seconds() / 1e6,
+		PwbsPerOp: float64(st.Pwbs) / float64(ops),
+	}
+}
+
+var sinkMu sync.Mutex
+var globalSink uint64
+
+func localSink(v uint64) {
+	sinkMu.Lock()
+	globalSink += v
+	sinkMu.Unlock()
+}
+
+// Config parameterizes a figure run.
+type Config struct {
+	// Threads is the list of thread counts (the figure's x-axis).
+	Threads []int
+	// Ops is the total number of operations per point (the paper uses 1e7;
+	// the default here is smaller so a full sweep stays laptop-friendly).
+	Ops uint64
+	// Persist configures the simulated NVMM cost model.
+	Persist pmem.Config
+}
+
+// DefaultConfig mirrors the paper's x-axis, scaled for a small host.
+func DefaultConfig() Config {
+	return Config{
+		Threads: []int{1, 2, 4, 8, 16, 24, 32, 48, 64, 96},
+		Ops:     200_000,
+		Persist: pmem.Config{Mode: pmem.ModeCount},
+	}
+}
+
+// PrintSeries renders a figure as an aligned table: one row per thread
+// count, one column per algorithm, in the given metric.
+func PrintSeries(w io.Writer, title, metric string, series []Series) {
+	fmt.Fprintf(w, "# %s (%s)\n", title, metric)
+	fmt.Fprintf(w, "%8s", "threads")
+	for _, s := range series {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(series) == 0 {
+		return
+	}
+	rows := map[int][]float64{}
+	var threads []int
+	for si, s := range series {
+		for _, p := range s.Points {
+			if _, ok := rows[p.Threads]; !ok {
+				rows[p.Threads] = make([]float64, len(series))
+				threads = append(threads, p.Threads)
+			}
+			v := p.Mops
+			if metric == "pwbs/op" {
+				v = p.PwbsPerOp
+			}
+			rows[p.Threads][si] = v
+		}
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		fmt.Fprintf(w, "%8d", t)
+		for _, v := range rows[t] {
+			fmt.Fprintf(w, " %14.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

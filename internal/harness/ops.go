@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"math/rand"
+
+	"pcomb/internal/heap"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+// StackOp is the paper's pairs workload on a stack: alternating Push/Pop.
+func StackOp(s *stack.Stack) OpFunc {
+	return func(tid int, i uint64, _ *rand.Rand) {
+		if i%2 == 0 {
+			s.Push(tid, i+1, i+1)
+		} else {
+			s.Pop(tid, i+1)
+		}
+	}
+}
+
+// QueueOp is the pairs workload on a queue: alternating Enqueue/Dequeue.
+func QueueOp(q *queue.Queue) OpFunc {
+	return func(tid int, i uint64, _ *rand.Rand) {
+		if i%2 == 0 {
+			q.Enqueue(tid, i+1, i/2+1)
+		} else {
+			q.Dequeue(tid, i/2+1)
+		}
+	}
+}
+
+// HeapOp is Figure 3b's workload: alternating HInsert/HDeleteMin with
+// random keys; preFill is the number of operations thread 0 already issued
+// while pre-populating (its seq counter must continue from there).
+func HeapOp(hp *heap.Heap, preFill uint64) OpFunc {
+	return func(tid int, i uint64, rng *rand.Rand) {
+		seq := i + 1
+		if tid == 0 {
+			seq += preFill
+		}
+		if i%2 == 0 {
+			hp.Insert(tid, rng.Uint64()%(1<<20), seq)
+		} else {
+			hp.DeleteMin(tid, seq)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"math/rand"
+
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+// Workload selects the operation mix. The paper's headline experiments use
+// Pairs ("avoids performing unsuccessful and thus cheap operations"); it
+// reports that Random (50% of each type) and pre-populated runs "did not
+// illustrate significant differences" — WorkloadSeries lets that claim be
+// checked here too.
+type Workload int
+
+const (
+	// Pairs alternates insert-type and remove-type operations.
+	Pairs Workload = iota
+	// Random draws each operation uniformly (50/50).
+	Random
+)
+
+// RandomQueueOp is the 50/50 workload on a queue; per-thread sequence
+// numbers for the two combining instances are tracked internally. eseq0 is
+// thread 0's enqueue count so far (non-zero when the queue was prefilled).
+func RandomQueueOp(q *queue.Queue, n int, eseq0 uint64) OpFunc {
+	eseq := make([]uint64, n)
+	eseq[0] = eseq0
+	dseq := make([]uint64, n)
+	return func(tid int, i uint64, rng *rand.Rand) {
+		if rng.Intn(2) == 0 {
+			eseq[tid]++
+			q.Enqueue(tid, i+1, eseq[tid])
+		} else {
+			dseq[tid]++
+			q.Dequeue(tid, dseq[tid])
+		}
+	}
+}
+
+// RandomStackOp is the 50/50 workload on a stack.
+func RandomStackOp(s *stack.Stack, n int) OpFunc {
+	seq := make([]uint64, n)
+	return func(tid int, i uint64, rng *rand.Rand) {
+		seq[tid]++
+		if rng.Intn(2) == 0 {
+			s.Push(tid, i+1, seq[tid])
+		} else {
+			s.Pop(tid, seq[tid])
+		}
+	}
+}
+
+// PrefillQueue enqueues count values from thread 0 (the "initially
+// populated" setup) and returns the continuation sequence number.
+func PrefillQueue(q *queue.Queue, count int) uint64 {
+	for i := 1; i <= count; i++ {
+		q.Enqueue(0, uint64(i), uint64(i))
+	}
+	return uint64(count)
+}

@@ -1,0 +1,283 @@
+// Package hashmap takes up the paper's closing open problem ("using more
+// instances of PBcomb and PWFcomb for efficiently implementing recoverable
+// hashing"): a detectably recoverable hash map built from S independent
+// combining instances, one per shard.
+//
+// Each shard is a bounded open-addressing table (linear probing with
+// tombstones) whose whole array lives in the shard's combining state, like
+// PBheap's key array. Sharding restores the parallelism that a single
+// combining instance would serialize: operations on different shards never
+// contend, and each shard's persistence cost amortizes over its own
+// combining degree.
+//
+// Keys are uint64 in [1, 2^64-3]: 0 marks an empty slot, ^0 is the
+// NotFound/Full sentinel space, ^0-2 the tombstone.
+package hashmap
+
+import (
+	"fmt"
+
+	"pcomb/internal/core"
+	"pcomb/internal/pmem"
+)
+
+// Operation codes.
+const (
+	OpPut uint64 = 1
+	OpGet uint64 = 2
+	OpDel uint64 = 3
+)
+
+// NotFound is returned by Get/Delete for absent keys and by Put for fresh
+// inserts (no previous value).
+const NotFound = ^uint64(0)
+
+// Full is returned by Put when the key's shard has no free slot.
+const Full = ^uint64(0) - 1
+
+const tombstone = ^uint64(0) - 2
+
+// Kind selects the underlying combining protocol.
+type Kind int
+
+const (
+	// Blocking shards on PBcomb.
+	Blocking Kind = iota
+	// WaitFree shards on PWFcomb.
+	WaitFree
+)
+
+// shardObj is the sequential open-addressing table of one shard.
+// State layout: [size, key_0, val_0, key_1, val_1, ...].
+type shardObj struct{ slots int }
+
+func (o shardObj) StateWords() int { return 1 + 2*o.slots }
+
+func (o shardObj) Init(s core.State) { s.Store(0, 0) }
+
+func (o shardObj) Apply(env *core.Env, r *core.Request) {
+	s := env.State
+	key := r.A0
+	if key == 0 || key >= tombstone {
+		r.Ret = NotFound
+		return
+	}
+	start := int(mix(key) % uint64(o.slots))
+	firstFree := -1
+	found := -1
+	for i := 0; i < o.slots; i++ {
+		idx := (start + i) % o.slots
+		k := s.Load(1 + 2*idx)
+		if k == key {
+			found = idx
+			break
+		}
+		if k == tombstone && firstFree < 0 {
+			firstFree = idx
+			continue
+		}
+		if k == 0 {
+			if firstFree < 0 {
+				firstFree = idx
+			}
+			break
+		}
+	}
+	switch r.Op {
+	case OpPut:
+		if found >= 0 {
+			r.Ret = s.Load(1 + 2*found + 1)
+			s.Store(1+2*found+1, r.A1)
+			env.MarkDirty(1+2*found+1, 1)
+			return
+		}
+		if firstFree < 0 {
+			r.Ret = Full
+			return
+		}
+		s.Store(1+2*firstFree, key)
+		s.Store(1+2*firstFree+1, r.A1)
+		s.Store(0, s.Load(0)+1)
+		env.MarkDirty(1+2*firstFree, 2)
+		env.MarkDirty(0, 1)
+		r.Ret = NotFound
+	case OpGet:
+		if found >= 0 {
+			r.Ret = s.Load(1 + 2*found + 1)
+		} else {
+			r.Ret = NotFound
+		}
+	case OpDel:
+		if found >= 0 {
+			r.Ret = s.Load(1 + 2*found + 1)
+			s.Store(1+2*found, tombstone)
+			s.Store(0, s.Load(0)-1)
+			env.MarkDirty(1+2*found, 1)
+			env.MarkDirty(0, 1)
+		} else {
+			r.Ret = NotFound
+		}
+	default:
+		r.Ret = NotFound
+	}
+}
+
+// mix is a 64-bit finalizer (splitmix64) spreading keys over shards and
+// probe starts.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Map is a detectably recoverable concurrent hash map.
+type Map struct {
+	shards []core.Protocol
+	nsh    int
+	slots  int
+	n      int
+
+	// sys is the per-structure system area: per-thread per-shard sequence
+	// counters plus the in-progress operation record, persisted out of band
+	// as the paper's system model prescribes.
+	// Layout: shard seqs at [tid*stride .. tid*stride+nsh), then
+	// [op, key, val, shard, seq, done].
+	sys    *pmem.Region
+	stride int
+}
+
+const (
+	sysOp = iota
+	sysKey
+	sysVal
+	sysShard
+	sysSeq
+	sysDone
+	sysRecWords
+)
+
+// New creates (or re-opens after a crash) a recoverable hash map for n
+// threads with the given shard count and total slot capacity.
+func New(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Map {
+	if nshards <= 0 {
+		nshards = 8
+	}
+	if capacity < nshards {
+		capacity = nshards * 64
+	}
+	m := &Map{nsh: nshards, slots: (capacity + nshards - 1) / nshards, n: n}
+	m.stride = nshards + sysRecWords
+	m.sys = h.AllocOrGet(name+"/hashmap.sys", n*m.stride)
+	obj := shardObj{slots: m.slots}
+	for s := 0; s < nshards; s++ {
+		sname := fmt.Sprintf("%s/shard%d", name, s)
+		if kind == WaitFree {
+			// PWFcomb keeps whole-record persists (every pretend-combiner
+			// would need its own dirty bookkeeping); size shards accordingly.
+			m.shards = append(m.shards, core.NewPWFComb(h, sname, n, obj))
+		} else {
+			// Blocking shards persist only the lines their batch dirtied.
+			m.shards = append(m.shards, core.NewPBCombSparse(h, sname, n, obj))
+		}
+	}
+	return m
+}
+
+// Shards returns the shard count.
+func (m *Map) Shards() int { return m.nsh }
+
+func (m *Map) shardOf(key uint64) int {
+	return int(mix(key) >> 33 % uint64(m.nsh))
+}
+
+// invoke records the op in the system area, draws the shard-local sequence
+// number, runs the op, and marks it done.
+func (m *Map) invoke(tid int, op, key, val uint64) uint64 {
+	sh := m.shardOf(key)
+	base := tid * m.stride
+	seq := m.sys.Load(base+sh) + 1
+	m.sys.DirectStore(base+sh, seq)
+	m.sys.DirectStore(base+m.nsh+sysOp, op)
+	m.sys.DirectStore(base+m.nsh+sysKey, key)
+	m.sys.DirectStore(base+m.nsh+sysVal, val)
+	m.sys.DirectStore(base+m.nsh+sysShard, uint64(sh))
+	m.sys.DirectStore(base+m.nsh+sysSeq, seq)
+	m.sys.DirectStore(base+m.nsh+sysDone, 0)
+	ret := m.shards[sh].Invoke(tid, op, key, val, seq)
+	m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	return ret
+}
+
+// Put maps key to val, returning the previous value and whether one
+// existed. ok=false with prev==Full means the shard was full.
+func (m *Map) Put(tid int, key, val uint64) (prev uint64, existed bool) {
+	r := m.invoke(tid, OpPut, key, val)
+	if r == NotFound || r == Full {
+		return r, false
+	}
+	return r, true
+}
+
+// Get returns the value mapped to key.
+func (m *Map) Get(tid int, key uint64) (uint64, bool) {
+	r := m.invoke(tid, OpGet, key, 0)
+	if r == NotFound {
+		return 0, false
+	}
+	return r, true
+}
+
+// Delete removes key, returning the removed value.
+func (m *Map) Delete(tid int, key uint64) (uint64, bool) {
+	r := m.invoke(tid, OpDel, key, 0)
+	if r == NotFound {
+		return 0, false
+	}
+	return r, true
+}
+
+// Recover resolves thread tid's interrupted operation after a crash: it
+// re-runs it or fetches its response — exactly once. pending is false when
+// tid had no operation in flight.
+func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
+	base := tid * m.stride
+	if m.sys.Load(base+m.nsh+sysOp) == 0 || m.sys.Load(base+m.nsh+sysDone) == 1 {
+		return 0, 0, 0, false
+	}
+	op = m.sys.Load(base + m.nsh + sysOp)
+	key = m.sys.Load(base + m.nsh + sysKey)
+	val := m.sys.Load(base + m.nsh + sysVal)
+	sh := int(m.sys.Load(base + m.nsh + sysShard))
+	seq := m.sys.Load(base + m.nsh + sysSeq)
+	result = m.shards[sh].Recover(tid, op, key, val, seq)
+	m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	return op, key, result, true
+}
+
+// Len returns the number of live keys. Quiescent use only.
+func (m *Map) Len() int {
+	total := 0
+	for _, sh := range m.shards {
+		total += int(sh.CurrentState().Load(0))
+	}
+	return total
+}
+
+// Range calls f for every key/value pair. Quiescent use only.
+func (m *Map) Range(f func(key, val uint64) bool) {
+	for _, sh := range m.shards {
+		st := sh.CurrentState()
+		for i := 0; i < m.slots; i++ {
+			k := st.Load(1 + 2*i)
+			if k == 0 || k == tombstone {
+				continue
+			}
+			if !f(k, st.Load(1+2*i+1)) {
+				return
+			}
+		}
+	}
+}

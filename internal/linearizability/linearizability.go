@@ -1,0 +1,125 @@
+// Package linearizability implements a Wing & Gong-style linearizability
+// checker with memoization, plus a concurrent-history recorder. The test
+// suites record real histories from the combining data structures (small
+// windows — the check is exponential) and verify them against sequential
+// specifications; the paper's Section 8 names such checking as the natural
+// complement to its pencil-and-paper arguments.
+package linearizability
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Op is one completed operation of a recorded history. Call and Return are
+// logical timestamps drawn from one global monotone counter, so all are
+// distinct and Call < Return.
+type Op struct {
+	Thread int
+	Call   int64
+	Return int64
+	Kind   uint64 // model-defined operation code
+	Arg    uint64
+	Out    uint64
+}
+
+// Model is a sequential specification. States must be encodable to a
+// comparable key (for memoization); Step returns the successor state and
+// whether the op's recorded output is legal from the given state.
+type Model interface {
+	Init() interface{}
+	Step(state interface{}, op Op) (next interface{}, legal bool)
+	Key(state interface{}) string
+}
+
+// Check reports whether the history is linearizable with respect to the
+// model. Histories must contain only completed operations (crashes are
+// resolved via recovery before checking) and at most 63 of them.
+func Check(m Model, history []Op) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic("linearizability: history too long for exhaustive checking")
+	}
+	full := uint64(1)<<n - 1
+	memo := map[string]bool{}
+	var dfs func(remaining uint64, state interface{}) bool
+	dfs = func(remaining uint64, state interface{}) bool {
+		if remaining == 0 {
+			return true
+		}
+		key := fmt.Sprintf("%x|%s", remaining, m.Key(state))
+		if seen, ok := memo[key]; ok {
+			return seen
+		}
+		// minReturn over remaining ops bounds which op may linearize first:
+		// an op is a candidate iff no other remaining op returned before it
+		// was called.
+		minReturn := int64(1) << 62
+		for i := 0; i < n; i++ {
+			if remaining&(1<<i) != 0 && history[i].Return < minReturn {
+				minReturn = history[i].Return
+			}
+		}
+		ok := false
+		for i := 0; i < n && !ok; i++ {
+			if remaining&(1<<i) == 0 {
+				continue
+			}
+			if history[i].Call > minReturn {
+				continue // some other op completed strictly before this began
+			}
+			next, legal := m.Step(state, history[i])
+			if legal && dfs(remaining&^(1<<i), next) {
+				ok = true
+			}
+		}
+		memo[key] = ok
+		return ok
+	}
+	return dfs(full, m.Init())
+}
+
+// Recorder assigns logical timestamps and collects completed operations
+// from concurrently running workers.
+type Recorder struct {
+	clock atomic.Int64
+	ops   []opSlot
+}
+
+type opSlot struct {
+	used atomic.Bool
+	op   Op
+	_    [4]uint64
+}
+
+// NewRecorder creates a recorder with capacity for max operations.
+func NewRecorder(max int) *Recorder {
+	return &Recorder{ops: make([]opSlot, max)}
+}
+
+// Run executes f as one timed operation for the given thread; f returns the
+// recorded output. idx must be unique per operation (pre-partitioned among
+// workers).
+func (r *Recorder) Run(idx, thread int, kind, arg uint64, f func() uint64) uint64 {
+	call := r.clock.Add(1)
+	out := f()
+	ret := r.clock.Add(1)
+	s := &r.ops[idx]
+	s.op = Op{Thread: thread, Call: call, Return: ret, Kind: kind, Arg: arg, Out: out}
+	s.used.Store(true)
+	return out
+}
+
+// History returns the recorded operations.
+func (r *Recorder) History() []Op {
+	var out []Op
+	for i := range r.ops {
+		if r.ops[i].used.Load() {
+			out = append(out, r.ops[i].op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package linearizability
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operation kinds shared by the bundled models.
+const (
+	KindEnq uint64 = 1
+	KindDeq uint64 = 2
+	KindAdd uint64 = 3
+)
+
+// EmptyOut is the recorded output of a dequeue/pop that found the structure
+// empty.
+const EmptyOut = ^uint64(0)
+
+// QueueModel is the sequential FIFO queue specification.
+type QueueModel struct{}
+
+// Init returns the empty queue.
+func (QueueModel) Init() interface{} { return []uint64(nil) }
+
+// Step applies one enqueue or dequeue.
+func (QueueModel) Step(state interface{}, op Op) (interface{}, bool) {
+	q := state.([]uint64)
+	switch op.Kind {
+	case KindEnq:
+		next := make([]uint64, len(q)+1)
+		copy(next, q)
+		next[len(q)] = op.Arg
+		return next, true
+	case KindDeq:
+		if len(q) == 0 {
+			return q, op.Out == EmptyOut
+		}
+		if op.Out != q[0] {
+			return nil, false
+		}
+		return append([]uint64(nil), q[1:]...), true
+	}
+	return nil, false
+}
+
+// Key encodes the queue contents.
+func (QueueModel) Key(state interface{}) string { return encode(state.([]uint64)) }
+
+// StackModel is the sequential LIFO stack specification (KindEnq = push,
+// KindDeq = pop).
+type StackModel struct{}
+
+// Init returns the empty stack.
+func (StackModel) Init() interface{} { return []uint64(nil) }
+
+// Step applies one push or pop.
+func (StackModel) Step(state interface{}, op Op) (interface{}, bool) {
+	s := state.([]uint64)
+	switch op.Kind {
+	case KindEnq:
+		next := make([]uint64, len(s)+1)
+		copy(next, s)
+		next[len(s)] = op.Arg
+		return next, true
+	case KindDeq:
+		if len(s) == 0 {
+			return s, op.Out == EmptyOut
+		}
+		if op.Out != s[len(s)-1] {
+			return nil, false
+		}
+		return append([]uint64(nil), s[:len(s)-1]...), true
+	}
+	return nil, false
+}
+
+// Key encodes the stack contents.
+func (StackModel) Key(state interface{}) string { return encode(state.([]uint64)) }
+
+// CounterModel is a fetch&add counter: KindAdd returns the previous value
+// and adds Arg.
+type CounterModel struct{}
+
+// Init returns zero.
+func (CounterModel) Init() interface{} { return uint64(0) }
+
+// Step applies one fetch&add.
+func (CounterModel) Step(state interface{}, op Op) (interface{}, bool) {
+	v := state.(uint64)
+	if op.Kind != KindAdd || op.Out != v {
+		return nil, false
+	}
+	return v + op.Arg, true
+}
+
+// Key encodes the counter value.
+func (CounterModel) Key(state interface{}) string { return fmt.Sprintf("%d", state.(uint64)) }
+
+func encode(vs []uint64) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%x,", v)
+	}
+	return b.String()
+}

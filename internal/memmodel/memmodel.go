@@ -1,0 +1,216 @@
+// Package memmodel approximates the hardware performance counters the paper
+// reports in Table 1: cache misses per operation, and loads/stores on the
+// cache lines holding an algorithm's shared state.
+//
+// The model is a simplified coherence protocol over *logical* cache lines
+// registered by each algorithm: every line carries a version (bumped on
+// write); a thread whose last-seen version of a line is stale takes a miss
+// on access. Write-after-remote-read upgrades are not modeled, so miss
+// counts are a slight lower bound; the cross-algorithm ordering — the thing
+// Table 1 demonstrates — is unaffected.
+package memmodel
+
+import "sync/atomic"
+
+// Class labels a registered line group for reporting purposes.
+type Class int
+
+const (
+	// ClassMeta lines hold synchronization metadata (locks, announce array).
+	ClassMeta Class = iota
+	// ClassState lines hold the implemented object's shared state.
+	ClassState
+)
+
+// Tracker accumulates per-thread access statistics over registered lines.
+type Tracker struct {
+	n       int
+	classes []Class
+	version []uint64   // accessed atomically
+	seen    [][]uint64 // [tid][line] last observed version
+	stats   []threadStats
+}
+
+// threadStats counters are updated atomically: hierarchical algorithms
+// (H-Synch) map several global threads onto the same cluster-local id, so
+// one slot may be shared.
+type threadStats struct {
+	misses      uint64
+	stateReads  uint64
+	stateStores uint64
+	metaReads   uint64
+	metaStores  uint64
+	_           [3]uint64 // pad to a cache line
+}
+
+// New creates a tracker for n threads.
+func New(n int) *Tracker {
+	t := &Tracker{n: n, stats: make([]threadStats, n)}
+	t.seen = make([][]uint64, n)
+	return t
+}
+
+// Register adds a group of lines of the given class and returns the index of
+// the first. Must be called before the threads start.
+func (t *Tracker) Register(lines int, class Class) int {
+	base := len(t.classes)
+	for i := 0; i < lines; i++ {
+		t.classes = append(t.classes, class)
+	}
+	t.version = append(t.version, make([]uint64, lines)...)
+	for tid := range t.seen {
+		t.seen[tid] = append(t.seen[tid], make([]uint64, lines)...)
+	}
+	return base
+}
+
+// Lines returns the number of registered lines.
+func (t *Tracker) Lines() int { return len(t.classes) }
+
+// Read records a load of the given line by thread tid.
+func (t *Tracker) Read(tid, line int) {
+	s := &t.stats[tid]
+	v := atomic.LoadUint64(&t.version[line])
+	if atomic.LoadUint64(&t.seen[tid][line]) != v {
+		atomic.AddUint64(&s.misses, 1)
+		atomic.StoreUint64(&t.seen[tid][line], v)
+	}
+	if t.classes[line] == ClassState {
+		atomic.AddUint64(&s.stateReads, 1)
+	} else {
+		atomic.AddUint64(&s.metaReads, 1)
+	}
+}
+
+// Write records a store to the given line by thread tid.
+func (t *Tracker) Write(tid, line int) {
+	s := &t.stats[tid]
+	v := atomic.AddUint64(&t.version[line], 1)
+	if atomic.LoadUint64(&t.seen[tid][line]) != v-1 {
+		atomic.AddUint64(&s.misses, 1)
+	}
+	atomic.StoreUint64(&t.seen[tid][line], v)
+	if t.classes[line] == ClassState {
+		atomic.AddUint64(&s.stateStores, 1)
+	} else {
+		atomic.AddUint64(&s.metaStores, 1)
+	}
+}
+
+// Totals is the aggregate counter set.
+type Totals struct {
+	Misses      uint64
+	StateReads  uint64
+	StateStores uint64
+	MetaReads   uint64
+	MetaStores  uint64
+}
+
+// Totals sums the per-thread statistics.
+func (t *Tracker) Totals() Totals {
+	var out Totals
+	for i := range t.stats {
+		s := &t.stats[i]
+		out.Misses += atomic.LoadUint64(&s.misses)
+		out.StateReads += atomic.LoadUint64(&s.stateReads)
+		out.StateStores += atomic.LoadUint64(&s.stateStores)
+		out.MetaReads += atomic.LoadUint64(&s.metaReads)
+		out.MetaStores += atomic.LoadUint64(&s.metaStores)
+	}
+	return out
+}
+
+// Hooks binds a tracker to one combining-protocol instance's line map: one
+// line for the lock/S word, one per announcement slot, and the lines of the
+// protocol's two records — split into the object-state prefix (ClassState;
+// Table 1's "cache-lines in shared state") and the ReturnVal/Deactivate
+// tail (ClassMeta).
+type Hooks struct {
+	T        *Tracker
+	lockLine int
+	reqBase  int
+	recWords int
+	stWords  int
+	stLn     int // state lines per record
+	mtLn     int // metadata lines per record
+	stBase   int
+	mtBase   int
+	miLine   int
+}
+
+// NewHooks registers the line groups of a protocol instance whose records
+// hold stWords object-state words out of recWords total (two records
+// assumed), with nreq announcement slots.
+func NewHooks(t *Tracker, n, stWords, recWords, nreq int) *Hooks {
+	h := &Hooks{T: t, recWords: recWords, stWords: stWords}
+	h.lockLine = t.Register(1, ClassMeta)
+	h.reqBase = t.Register(nreq, ClassMeta)
+	h.stLn = (stWords + 7) / 8
+	h.mtLn = (recWords+7)/8 - h.stLn
+	if h.mtLn < 0 {
+		h.mtLn = 0
+	}
+	h.stBase = t.Register(2*h.stLn, ClassState)
+	h.mtBase = t.Register(2*h.mtLn+2, ClassMeta)
+	h.miLine = t.Register(1, ClassMeta)
+	return h
+}
+
+// LockRead records a load of the lock word.
+func (h *Hooks) LockRead(tid int) { h.T.Read(tid, h.lockLine) }
+
+// LockWrite records a store/CAS of the lock word.
+func (h *Hooks) LockWrite(tid int) { h.T.Write(tid, h.lockLine) }
+
+// ReqRead records a load of thread q's announcement slot.
+func (h *Hooks) ReqRead(tid, q int) { h.T.Read(tid, h.reqBase+q) }
+
+// ReqWrite records a store to thread q's announcement slot.
+func (h *Hooks) ReqWrite(tid, q int) { h.T.Write(tid, h.reqBase+q) }
+
+// line maps a record-relative word offset to its registered line.
+func (h *Hooks) line(off int) int {
+	rec := (off / h.recWords) % 2
+	w := off % h.recWords
+	if w < h.stWords {
+		return h.stBase + rec*h.stLn + w/8
+	}
+	m := (w - h.stWords) / 8
+	if m >= h.mtLn {
+		m = h.mtLn
+	}
+	return h.mtBase + rec*h.mtLn + m
+}
+
+// StateRead records a load of the line containing record word off;
+// off < 0 addresses the record-index word (MIndex/S).
+func (h *Hooks) StateRead(tid, off int) {
+	if off < 0 {
+		h.T.Read(tid, h.miLine)
+		return
+	}
+	h.T.Read(tid, h.line(off))
+}
+
+// StateWrite records a store to the line containing record word off;
+// off < 0 addresses the record-index word (MIndex/S).
+func (h *Hooks) StateWrite(tid, off int) {
+	if off < 0 {
+		h.T.Write(tid, h.miLine)
+		return
+	}
+	h.T.Write(tid, h.line(off))
+}
+
+// RecCopy records a whole-record copy: reads of the source record's lines
+// and writes of the destination record's lines, per class.
+func (h *Hooks) RecCopy(tid, srcRec, dstRec int) {
+	for i := 0; i < h.stLn; i++ {
+		h.T.Read(tid, h.stBase+srcRec%2*h.stLn+i)
+		h.T.Write(tid, h.stBase+dstRec%2*h.stLn+i)
+	}
+	for i := 0; i < h.mtLn; i++ {
+		h.T.Read(tid, h.mtBase+srcRec%2*h.mtLn+i)
+		h.T.Write(tid, h.mtBase+dstRec%2*h.mtLn+i)
+	}
+}

@@ -1,0 +1,106 @@
+package memmodel
+
+import "testing"
+
+func TestRegisterAndClasses(t *testing.T) {
+	tr := New(2)
+	a := Register(tr, 2, ClassMeta)
+	b := Register(tr, 3, ClassState)
+	if a != 0 || b != 2 {
+		t.Fatalf("bases %d,%d", a, b)
+	}
+	if tr.Lines() != 5 {
+		t.Fatalf("lines = %d", tr.Lines())
+	}
+}
+
+// Register is a thin indirection so the test reads naturally.
+func Register(tr *Tracker, lines int, c Class) int { return tr.Register(lines, c) }
+
+func TestReadMissOnlyWhenStale(t *testing.T) {
+	tr := New(2)
+	l := tr.Register(1, ClassState)
+	tr.Read(0, l) // cold: version 0 matches initial seen 0 -> no miss
+	tr.Read(0, l)
+	if got := tr.Totals().Misses; got != 0 {
+		t.Fatalf("misses = %d, want 0 (nothing written yet)", got)
+	}
+	tr.Write(1, l) // thread 1 dirties the line (first-ever write: cold, free)
+	tr.Read(0, l)  // thread 0 must miss once
+	tr.Read(0, l)  // then hit
+	tot := tr.Totals()
+	if tot.Misses != 1 { // only coherence misses count, never cold ones
+		t.Fatalf("misses = %d, want 1", tot.Misses)
+	}
+}
+
+func TestWriteMissOnOwnershipChange(t *testing.T) {
+	tr := New(2)
+	l := tr.Register(1, ClassMeta)
+	tr.Write(0, l) // cold write: free
+	tr.Write(0, l) // same owner: no miss
+	tr.Write(1, l) // new owner: coherence miss
+	if got := tr.Totals().Misses; got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+func TestClassCounters(t *testing.T) {
+	tr := New(1)
+	m := tr.Register(1, ClassMeta)
+	s := tr.Register(1, ClassState)
+	tr.Read(0, m)
+	tr.Write(0, m)
+	tr.Read(0, s)
+	tr.Write(0, s)
+	tot := tr.Totals()
+	if tot.MetaReads != 1 || tot.MetaStores != 1 || tot.StateReads != 1 || tot.StateStores != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestHooksLineMapping(t *testing.T) {
+	tr := New(2)
+	h := NewHooks(tr, 2, 8 /*stWords: 1 line*/, 24 /*recWords: 3 lines*/, 2)
+	// A state-word access must land in ClassState; a tail access in Meta.
+	h.StateWrite(0, 3)  // rec 0, state word
+	h.StateWrite(0, 10) // rec 0, tail word
+	h.StateWrite(0, -1) // record-index word
+	tot := tr.Totals()
+	if tot.StateStores != 1 {
+		t.Fatalf("state stores = %d, want 1", tot.StateStores)
+	}
+	if tot.MetaStores != 2 {
+		t.Fatalf("meta stores = %d, want 2 (tail + index)", tot.MetaStores)
+	}
+}
+
+func TestHooksRecCopyTouchesBothClasses(t *testing.T) {
+	tr := New(1)
+	h := NewHooks(tr, 1, 8, 24, 1)
+	h.RecCopy(0, 0, 1)
+	tot := tr.Totals()
+	if tot.StateReads != 1 || tot.StateStores != 1 {
+		t.Fatalf("state r/w = %d/%d, want 1/1", tot.StateReads, tot.StateStores)
+	}
+	if tot.MetaReads != 2 || tot.MetaStores != 2 {
+		t.Fatalf("meta r/w = %d/%d, want 2/2 (two tail lines)", tot.MetaReads, tot.MetaStores)
+	}
+}
+
+func TestLockAndReqHooks(t *testing.T) {
+	tr := New(2)
+	h := NewHooks(tr, 2, 8, 24, 2)
+	h.LockRead(0)
+	h.LockWrite(1)
+	h.ReqWrite(0, 0)
+	h.ReqRead(1, 0)
+	tot := tr.Totals()
+	if tot.MetaReads != 2 || tot.MetaStores != 2 {
+		t.Fatalf("meta r/w = %d/%d", tot.MetaReads, tot.MetaStores)
+	}
+	// The req slot transferred from writer 0 to reader 1: one coherence miss.
+	if tot.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", tot.Misses)
+	}
+}

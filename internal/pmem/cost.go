@@ -1,0 +1,9 @@
+package pmem
+
+import "pcomb/internal/prim"
+
+// spinCost aliases the calibrated cost unit shared with the prim package so
+// persistence-instruction and coherence charges use one calibration.
+type spinCost = prim.Cost
+
+func costForNs(ns int) spinCost { return prim.CostForNs(ns) }

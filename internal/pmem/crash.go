@@ -1,0 +1,92 @@
+package pmem
+
+import "math/rand"
+
+// CrashPolicy chooses which scheduled-but-undrained write-backs survive a
+// simulated crash. Everything drained by a pfence or psync is already
+// durable; the policy governs only each thread's pending tail (write-backs
+// issued since its last fence), which hardware may complete in any order and
+// any subset.
+type CrashPolicy int
+
+const (
+	// DropUnfenced discards every write-back not yet drained by a
+	// pfence/psync. This is the most adversarial legal outcome.
+	DropUnfenced CrashPolicy = iota
+	// ApplyAll persists every scheduled write-back (models caches that
+	// happened to evict everything in time).
+	ApplyAll
+	// RandomCut persists a random subset of each thread's pending tail, in
+	// issue order (so a later write-back of the same line wins).
+	RandomCut
+)
+
+func (p CrashPolicy) String() string {
+	switch p {
+	case DropUnfenced:
+		return "drop-unfenced"
+	case ApplyAll:
+		return "apply-all"
+	case RandomCut:
+		return "random-cut"
+	}
+	return "unknown"
+}
+
+// TriggerCrash makes every subsequent persistence event on every context
+// panic with CrashError, so that concurrently running workers unwind.
+// Call FinishCrash once all workers have stopped.
+func (h *Heap) TriggerCrash() {
+	h.crashedFlag.Store(true)
+}
+
+// FinishCrash completes a simulated crash: for each thread context the given
+// policy decides which scheduled write-backs become durable, then every
+// region's volatile contents are replaced by its durable shadow, pending
+// queues are cleared, and the heap becomes usable again (callers must rebuild
+// all volatile state and run recovery functions, exactly as after a real
+// power failure). Only valid in ModeShadow.
+func (h *Heap) FinishCrash(policy CrashPolicy, seed int64) {
+	if h.cfg.Mode != ModeShadow {
+		panic("pmem: FinishCrash requires ModeShadow")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	for _, c := range h.ctxs {
+		applyCrashPolicy(c, policy, rng)
+		c.pending = c.pending[:0]
+		c.crashAt = 0
+	}
+	for _, r := range h.byID {
+		r.restoreFromShadow()
+	}
+	h.crashedFlag.Store(false)
+}
+
+// Crash is TriggerCrash + FinishCrash for single-threaded harnesses.
+func (h *Heap) Crash(policy CrashPolicy, seed int64) {
+	h.TriggerCrash()
+	h.FinishCrash(policy, seed)
+}
+
+func applyCrashPolicy(c *Ctx, policy CrashPolicy, rng *rand.Rand) {
+	switch policy {
+	case DropUnfenced:
+		// nothing survives
+	case ApplyAll:
+		c.drainAll()
+	case RandomCut:
+		for _, f := range c.pending {
+			if rng.Intn(2) == 0 {
+				f.r.applyShadowLine(f.line, f.data)
+			}
+		}
+	}
+}
+
+// PendingWritebacks reports how many scheduled write-backs are not yet
+// durable on this context (test helper).
+func (c *Ctx) PendingWritebacks() int {
+	return len(c.pending)
+}

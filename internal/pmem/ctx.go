@@ -1,0 +1,180 @@
+package pmem
+
+// CrashError is the panic value raised when a simulated crash fires inside a
+// persistence instruction. Harnesses recover() it and run the algorithm's
+// recovery path.
+type CrashError struct{}
+
+func (CrashError) Error() string { return "pmem: simulated system crash" }
+
+// flushRec is one scheduled cache-line write-back: the line's contents as
+// captured when pwb executed.
+type flushRec struct {
+	r    *Region
+	line int
+	data []uint64
+}
+
+// Ctx is a per-thread persistence context: it owns the thread's
+// persistence-instruction counters, its queue of scheduled-but-not-yet
+// durable write-backs (ModeShadow), and its crash-injection state.
+// A Ctx must not be used concurrently.
+type Ctx struct {
+	h *Heap
+
+	pwbs    uint64
+	pfences uint64
+	psyncs  uint64
+
+	// pending write-backs issued since the last pfence/psync. Following the
+	// behavior of CLWB+SFENCE on ADR platforms (where a retired fence means
+	// the flushed data reached the power-fail-protected domain), both pfence
+	// and psync make all preceding write-backs durable; within the pending
+	// tail write-backs are unordered and a crash may apply any subset.
+	pending []flushRec
+
+	// crash injection: when instr reaches crashAt, the instruction panics
+	// with CrashError instead of executing. 0 disables.
+	crashAt int64
+	instr   int64
+
+	sink uint64 // spin-cost accumulator; defeats dead-code elimination
+
+	tracing bool
+	trace   []TraceEvent
+}
+
+// Pwbs returns the number of pwb instructions issued on this context.
+func (c *Ctx) Pwbs() uint64 { return c.pwbs }
+
+// Pfences returns the number of pfence instructions issued on this context.
+func (c *Ctx) Pfences() uint64 { return c.pfences }
+
+// Psyncs returns the number of psync instructions issued on this context.
+func (c *Ctx) Psyncs() uint64 { return c.psyncs }
+
+// Instr returns the number of persistence events executed so far (used by
+// crash-point sweeps to size the sweep).
+func (c *Ctx) Instr() int64 { return c.instr }
+
+// SetCrashAt arranges for the k-th subsequent persistence event (1-based,
+// counted from now) to panic with CrashError instead of executing.
+// k <= 0 disables injection.
+func (c *Ctx) SetCrashAt(k int64) {
+	if k <= 0 {
+		c.crashAt = 0
+		return
+	}
+	c.crashAt = c.instr + k
+}
+
+// event counts one persistence event and fires crash injection.
+func (c *Ctx) event() {
+	if c.h.crashedFlag.Load() {
+		panic(CrashError{})
+	}
+	c.instr++
+	if c.crashAt != 0 && c.instr >= c.crashAt {
+		panic(CrashError{})
+	}
+}
+
+// CrashPoint is an explicit crash-injection point for algorithm code that
+// wants crash coverage between plain stores (it costs nothing and persists
+// nothing). It counts as a persistence event for sweep purposes.
+func (c *Ctx) CrashPoint() {
+	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	c.event()
+}
+
+// PWB schedules a write-back of every cache line overlapping words
+// [off, off+n) of region r. The line contents are captured now; durability
+// happens at the next PSync (or at a crash, subject to the adversary).
+func (c *Ctx) PWB(r *Region, off, n int) {
+	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	c.event()
+	lo, hi := lineRange(off, n)
+	if hi < lo {
+		return
+	}
+	c.pwbs += uint64(hi - lo + 1)
+	if c.tracing {
+		c.trace = append(c.trace, TraceEvent{Kind: TracePwb, Region: r.name, LineLo: lo, LineHi: hi})
+	}
+	if c.h.cfg.PwbOff {
+		return
+	}
+	if c.h.cfg.Mode == ModeShadow {
+		for li := lo; li <= hi; li++ {
+			c.pending = append(c.pending, flushRec{r: r, line: li, data: r.captureLine(li)})
+		}
+	}
+	c.charge(c.h.pwbCost, hi-lo+1)
+}
+
+// PWBLine schedules a write-back of the single cache line containing word i.
+func (c *Ctx) PWBLine(r *Region, i int) { c.PWB(r, i, 1) }
+
+// PFence orders all preceding PWBs on this context before all subsequent
+// ones.
+func (c *Ctx) PFence() {
+	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	c.event()
+	c.pfences++
+	if c.tracing {
+		c.trace = append(c.trace, TraceEvent{Kind: TracePfence})
+	}
+	if c.h.cfg.Mode == ModeShadow {
+		c.drainAll()
+	}
+	c.charge(c.h.pfenceCost, 1)
+}
+
+// PSync blocks until every PWB previously issued on this context is durable.
+func (c *Ctx) PSync() {
+	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	c.event()
+	c.psyncs++
+	if c.tracing {
+		c.trace = append(c.trace, TraceEvent{Kind: TracePsync})
+	}
+	if c.h.cfg.PsyncOff {
+		return
+	}
+	if c.h.cfg.Mode == ModeShadow {
+		c.drainAll()
+	}
+	c.charge(c.h.psyncCost, 1)
+}
+
+// drainAll makes every pending write-back durable.
+func (c *Ctx) drainAll() {
+	for _, f := range c.pending {
+		f.r.applyShadowLine(f.line, f.data)
+	}
+	c.pending = c.pending[:0]
+}
+
+// charge burns approximately cost*units of calibrated CPU time.
+func (c *Ctx) charge(cost spinCost, units int) {
+	if cost == 0 {
+		return
+	}
+	s := c.sink
+	n := uint64(cost) * uint64(units)
+	for i := uint64(0); i < n; i++ {
+		s += i ^ (s >> 3)
+	}
+	c.sink = s
+}
+
+// Crashed reports whether a crash has been triggered and not yet recovered.
+func (h *Heap) Crashed() bool { return h.crashedFlag.Load() }

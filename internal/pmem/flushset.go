@@ -1,0 +1,45 @@
+package pmem
+
+// FlushSet accumulates cache lines touched while a combiner serves a batch
+// and writes them back with one pwb per *distinct* line. Nodes handed out
+// consecutively from a pool chunk therefore share write-backs, which is how
+// the paper's allocation discipline turns persistence principle 3 into
+// fewer pwbs.
+type FlushSet struct {
+	r     *Region
+	lines []int
+}
+
+// Reset prepares the set for a new batch against region r.
+func (f *FlushSet) Reset(r *Region) {
+	f.r = r
+	f.lines = f.lines[:0]
+}
+
+// Add records that words [off, off+n) of the region were written.
+func (f *FlushSet) Add(off, n int) {
+	lo, hi := lineRange(off, n)
+	for li := lo; li <= hi; li++ {
+		found := false
+		for _, l := range f.lines {
+			if l == li {
+				found = true
+				break
+			}
+		}
+		if !found {
+			f.lines = append(f.lines, li)
+		}
+	}
+}
+
+// Len returns the number of distinct lines recorded.
+func (f *FlushSet) Len() int { return len(f.lines) }
+
+// Flush issues one pwb per recorded line and clears the set.
+func (f *FlushSet) Flush(ctx *Ctx) {
+	for _, li := range f.lines {
+		ctx.PWB(f.r, li*LineWords, 1)
+	}
+	f.lines = f.lines[:0]
+}

@@ -1,0 +1,133 @@
+package pmem
+
+import "sync/atomic"
+
+// Region is a named, fixed-size block of simulated persistent memory.
+// All access is word-granular and atomic: this keeps optimistic readers
+// (PWFcomb's state copy) race-free, and models the single-word atomic
+// read/write/CAS primitives the paper's system model assumes.
+type Region struct {
+	h      *Heap
+	name   string
+	id     int
+	words  []uint64
+	shadow []uint64 // durable contents; present only in ModeShadow
+	shadMu sync64   // guards shadow
+}
+
+// sync64 is a tiny spin mutex so Region stays lightweight; shadow updates are
+// rare (fence/sync-time) and short.
+type sync64 struct{ v atomic.Uint32 }
+
+func (m *sync64) lock() {
+	for !m.v.CompareAndSwap(0, 1) {
+	}
+}
+func (m *sync64) unlock() { m.v.Store(0) }
+
+// Name returns the region's registered name.
+func (r *Region) Name() string { return r.name }
+
+// Len returns the region size in words.
+func (r *Region) Len() int { return len(r.words) }
+
+// Load atomically reads word i.
+func (r *Region) Load(i int) uint64 {
+	return atomic.LoadUint64(&r.words[i])
+}
+
+// Store atomically writes word i.
+func (r *Region) Store(i int, v uint64) {
+	atomic.StoreUint64(&r.words[i], v)
+}
+
+// CAS performs a compare-and-swap on word i.
+func (r *Region) CAS(i int, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&r.words[i], old, new)
+}
+
+// Add atomically adds delta to word i and returns the new value.
+func (r *Region) Add(i int, delta uint64) uint64 {
+	return atomic.AddUint64(&r.words[i], delta)
+}
+
+// DirectStore writes word i to both the volatile contents and the durable
+// shadow, bypassing the pwb/pfence/psync pipeline and its counters. It
+// models the auxiliary state the paper assumes the *system* persists on the
+// algorithms' behalf (per-thread sequence numbers and the arguments of the
+// operation in progress, needed to invoke recovery functions) — detectable
+// recoverability cannot be achieved without such support [Ben-Baruch et
+// al.], so its cost is not attributed to the algorithms.
+func (r *Region) DirectStore(i int, v uint64) {
+	atomic.StoreUint64(&r.words[i], v)
+	if r.shadow != nil {
+		r.shadMu.lock()
+		r.shadow[i] = v
+		r.shadMu.unlock()
+	}
+}
+
+// CopyWords copies n words from src starting at srcOff into this region at
+// dstOff, word-atomically. Concurrent writers may interleave; callers that
+// need a consistent snapshot must validate afterwards (as PWFcomb does).
+func (r *Region) CopyWords(dstOff int, src *Region, srcOff, n int) {
+	for i := 0; i < n; i++ {
+		atomic.StoreUint64(&r.words[dstOff+i], atomic.LoadUint64(&src.words[srcOff+i]))
+	}
+}
+
+// Snapshot copies n words starting at off into dst (a plain slice).
+func (r *Region) Snapshot(dst []uint64, off, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = atomic.LoadUint64(&r.words[off+i])
+	}
+}
+
+// lineRange returns the [first,last] inclusive cache-line indices covering
+// words [off, off+n).
+func lineRange(off, n int) (int, int) {
+	if n <= 0 {
+		return 0, -1
+	}
+	return off / LineWords, (off + n - 1) / LineWords
+}
+
+// captureLine copies the current volatile contents of cache line li.
+func (r *Region) captureLine(li int) []uint64 {
+	lo := li * LineWords
+	hi := lo + LineWords
+	if hi > len(r.words) {
+		hi = len(r.words)
+	}
+	buf := make([]uint64, hi-lo)
+	for i := lo; i < hi; i++ {
+		buf[i-lo] = atomic.LoadUint64(&r.words[i])
+	}
+	return buf
+}
+
+// applyShadowLine makes the captured contents of line li durable.
+func (r *Region) applyShadowLine(li int, data []uint64) {
+	lo := li * LineWords
+	r.shadMu.lock()
+	copy(r.shadow[lo:lo+len(data)], data)
+	r.shadMu.unlock()
+}
+
+// restoreFromShadow overwrites the volatile contents with the durable shadow,
+// simulating the state visible after a power failure.
+func (r *Region) restoreFromShadow() {
+	r.shadMu.lock()
+	for i, v := range r.shadow {
+		atomic.StoreUint64(&r.words[i], v)
+	}
+	r.shadMu.unlock()
+}
+
+// ShadowLoad reads word i of the durable shadow (test helper).
+func (r *Region) ShadowLoad(i int) uint64 {
+	r.shadMu.lock()
+	v := r.shadow[i]
+	r.shadMu.unlock()
+	return v
+}

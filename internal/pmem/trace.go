@@ -1,0 +1,149 @@
+package pmem
+
+import "fmt"
+
+// TraceKind labels one traced persistence event.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TracePwb TraceKind = iota
+	TracePfence
+	TracePsync
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TracePwb:
+		return "pwb"
+	case TracePfence:
+		return "pfence"
+	case TracePsync:
+		return "psync"
+	}
+	return "?"
+}
+
+// TraceEvent is one persistence instruction as issued: for pwb, the region
+// and the inclusive cache-line range it covered.
+type TraceEvent struct {
+	Kind   TraceKind
+	Region string
+	LineLo int
+	LineHi int
+}
+
+func (e TraceEvent) String() string {
+	if e.Kind != TracePwb {
+		return e.Kind.String()
+	}
+	if e.LineLo == e.LineHi {
+		return fmt.Sprintf("pwb %s[line %d]", e.Region, e.LineLo)
+	}
+	return fmt.Sprintf("pwb %s[lines %d-%d]", e.Region, e.LineLo, e.LineHi)
+}
+
+// StartTrace begins recording this context's persistence instructions.
+func (c *Ctx) StartTrace() {
+	c.trace = c.trace[:0]
+	c.tracing = true
+}
+
+// StopTrace ends recording and returns the events.
+func (c *Ctx) StopTrace() []TraceEvent {
+	c.tracing = false
+	out := c.trace
+	c.trace = nil
+	return out
+}
+
+// Dispersion summarizes how scattered a persistence schedule is — the
+// quantity persistence principle 3 says to minimize.
+type Dispersion struct {
+	Pwbs          int // pwb instructions
+	Lines         int // distinct cache lines written back
+	Regions       int // distinct regions touched
+	Runs          int // maximal consecutive-line runs (1 = one contiguous block)
+	Fences        int
+	Syncs         int
+	Consecutivity float64 // lines / runs, averaged: higher = more contiguous
+}
+
+// Dispersal computes the dispersion of a trace.
+func Dispersal(events []TraceEvent) Dispersion {
+	var d Dispersion
+	type lineKey struct {
+		region string
+		line   int
+	}
+	lines := map[lineKey]bool{}
+	regions := map[string]bool{}
+	for _, e := range events {
+		switch e.Kind {
+		case TracePfence:
+			d.Fences++
+			continue
+		case TracePsync:
+			d.Syncs++
+			continue
+		}
+		d.Pwbs++
+		regions[e.Region] = true
+		for l := e.LineLo; l <= e.LineHi; l++ {
+			lines[lineKey{e.Region, l}] = true
+		}
+	}
+	d.Lines = len(lines)
+	d.Regions = len(regions)
+	// Count maximal runs of consecutive lines per region.
+	perRegion := map[string][]int{}
+	for k := range lines {
+		perRegion[k.region] = append(perRegion[k.region], k.line)
+	}
+	for _, ls := range perRegion {
+		sortInts(ls)
+		for i, l := range ls {
+			if i == 0 || l != ls[i-1]+1 {
+				d.Runs++
+			}
+		}
+	}
+	if d.Runs > 0 {
+		d.Consecutivity = float64(d.Lines) / float64(d.Runs)
+	}
+	return d
+}
+
+// StartTraceAll begins tracing on every context of the heap (for
+// structures whose contexts are internal; meaningful single-threaded).
+func (h *Heap) StartTraceAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, c := range h.ctxs {
+		c.trace = c.trace[:0]
+		c.tracing = true
+	}
+}
+
+// StopTraceAll ends tracing on every context and merges the events.
+func (h *Heap) StopTraceAll() []TraceEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []TraceEvent
+	for _, c := range h.ctxs {
+		if c.tracing {
+			out = append(out, c.trace...)
+			c.tracing = false
+			c.trace = nil
+		}
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package pmem
+
+import "pcomb/internal/prim"
+
+// Versioned is an LL/VL/SC-style variable stored in one word of a Region,
+// so that its current value is persistable with a single pwb. The paper's
+// own experiments "simulate an LL on an object O with a read, and an SC
+// with a CAS on a timestamped version of O to avoid the ABA problem";
+// Versioned implements exactly that.
+type Versioned struct {
+	R *Region
+	I int
+}
+
+// LL reads the current versioned word (the paper's LL is a plain read).
+func (v Versioned) LL() uint64 { return v.R.Load(v.I) }
+
+// VL reports whether the variable still holds old.
+func (v Versioned) VL(old uint64) bool { return v.R.Load(v.I) == old }
+
+// SC installs slot if the variable still holds old, bumping the stamp.
+func (v Versioned) SC(old uint64, slot int) bool {
+	_, stamp := prim.UnpackVersioned(old)
+	return v.R.CAS(v.I, old, prim.PackVersioned(slot, stamp+1))
+}
+
+// Slot returns the slot index of the current value.
+func (v Versioned) Slot() int {
+	s, _ := prim.UnpackVersioned(v.R.Load(v.I))
+	return s
+}

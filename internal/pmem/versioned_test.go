@@ -1,0 +1,58 @@
+package pmem
+
+import (
+	"testing"
+
+	"pcomb/internal/prim"
+)
+
+func TestVersionedLLSC(t *testing.T) {
+	h := NewHeap(Config{Mode: ModeCount, NoCost: true})
+	r := h.Alloc("s", 1)
+	v := Versioned{R: r, I: 0}
+	r.Store(0, prim.PackVersioned(5, 0))
+
+	old := v.LL()
+	if s, _ := prim.UnpackVersioned(old); s != 5 {
+		t.Fatalf("LL slot = %d", s)
+	}
+	if !v.VL(old) {
+		t.Fatal("VL should validate untouched variable")
+	}
+	if !v.SC(old, 9) {
+		t.Fatal("SC should succeed")
+	}
+	if v.Slot() != 9 {
+		t.Fatalf("Slot = %d, want 9", v.Slot())
+	}
+	if v.VL(old) {
+		t.Fatal("VL must fail after an SC")
+	}
+	if v.SC(old, 3) {
+		t.Fatal("second SC on the same LL must fail (stamp changed)")
+	}
+}
+
+func TestVersionedABAProtection(t *testing.T) {
+	h := NewHeap(Config{Mode: ModeCount, NoCost: true})
+	r := h.Alloc("s", 1)
+	v := Versioned{R: r, I: 0}
+	r.Store(0, prim.PackVersioned(1, 0))
+
+	old := v.LL()
+	// Another thread swings the slot away and back: 1 -> 2 -> 1.
+	mid := v.LL()
+	if !v.SC(mid, 2) {
+		t.Fatal("setup SC failed")
+	}
+	mid2 := v.LL()
+	if !v.SC(mid2, 1) {
+		t.Fatal("setup SC failed")
+	}
+	if v.Slot() != 1 {
+		t.Fatal("slot should be back to 1")
+	}
+	if v.SC(old, 7) {
+		t.Fatal("SC must fail despite the slot matching (ABA)")
+	}
+}

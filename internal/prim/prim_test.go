@@ -1,0 +1,46 @@
+package prim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(slot uint32, stamp uint64) bool {
+		s := int(slot) & ((1 << SlotBits) - 1)
+		st := stamp & (1<<(64-SlotBits) - 1)
+		gs, gst := UnpackVersioned(PackVersioned(s, st))
+		return gs == s && gst == st
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	b := NewBackoff(8, 64, 42)
+	if b.limit != 8 {
+		t.Fatalf("initial limit = %d", b.limit)
+	}
+	for i := 0; i < 10; i++ {
+		b.Grow()
+	}
+	if b.limit != 64 {
+		t.Fatalf("limit after growth = %d, want 64", b.limit)
+	}
+	for i := 0; i < 10; i++ {
+		b.Shrink()
+	}
+	if b.limit != 8 {
+		t.Fatalf("limit after shrink = %d, want 8", b.limit)
+	}
+	b.Wait() // must not hang or panic
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if b.min == 0 || b.max < b.min {
+		t.Fatalf("defaults not applied: min=%d max=%d", b.min, b.max)
+	}
+}

@@ -1,0 +1,235 @@
+// Package queue implements the paper's recoverable queues.
+//
+// PBqueue (Section 5) uses two PBcomb instances — IE synchronizing
+// enqueuers (state: tail) and ID synchronizing dequeuers (state: head) — so
+// enqueues run concurrently with dequeues. Enqueue combiners splice nodes
+// directly into the linked list and persist them; a volatile oldTail
+// variable, advanced only after an enqueue combiner's psync, stops dequeue
+// combiners from removing nodes whose linkage is not yet durable.
+//
+// PWFqueue combines PWFcomb with the SimQueue construction: an enqueue
+// combiner builds a private list of the batch's nodes and publishes it as a
+// *pending part* (the IE state holds three pointers: tail, pendHead,
+// pendTail); the pending part is spliced onto the main list — idempotently,
+// by whichever thread gets there first — at the start of the next round.
+// Because the three pointers are persisted in the IE record before S moves,
+// recovery can always re-perform the splice after a crash.
+package queue
+
+import (
+	"sync/atomic"
+
+	"pcomb/internal/core"
+	"pcomb/internal/pmem"
+	"pcomb/internal/pool"
+)
+
+// Operation codes.
+const (
+	OpEnq uint64 = 1
+	OpDeq uint64 = 2
+)
+
+// Empty is the Dequeue return value signalling an empty queue.
+const Empty = ^uint64(0)
+
+// EnqOK is the Enqueue return value.
+const EnqOK uint64 = 0
+
+// Kind selects the underlying combining protocol.
+type Kind int
+
+const (
+	// Blocking builds PBqueue.
+	Blocking Kind = iota
+	// WaitFree builds PWFqueue.
+	WaitFree
+)
+
+// Options configures a queue instance.
+type Options struct {
+	// Recycling (PBqueue only) reuses dequeued nodes through per-thread
+	// free lists; PWFqueue leaves reclamation to future work, as the paper
+	// does.
+	Recycling bool
+	// Capacity is the node arena size; 0 selects a generous default.
+	Capacity int
+	// ChunkSize is the per-thread allocation chunk; 0 selects the default.
+	ChunkSize int
+}
+
+const (
+	nodeWords        = 2 // [value, next]
+	defaultCapacity  = 1 << 20
+	defaultChunkSize = 256
+)
+
+// Queue is a detectably recoverable concurrent FIFO queue.
+type Queue struct {
+	kind Kind
+	p    *pool.Pool
+	meta *pmem.Region // word 0: dummy node index; word LineWords: magic
+
+	enq core.Protocol
+	deq core.Protocol
+
+	oldTail atomic.Uint64 // PBqueue: last node safe for dequeuers (volatile)
+}
+
+const queueMagic = 0x71c0_0001_beef_0001
+
+// New creates (or re-opens after a crash) a recoverable queue for n threads.
+func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
+	if opt.Capacity == 0 {
+		opt.Capacity = defaultCapacity
+	}
+	if opt.ChunkSize == 0 {
+		opt.ChunkSize = defaultChunkSize
+	}
+	q := &Queue{
+		kind: kind,
+		p:    pool.New(h, name, n, nodeWords, opt.Capacity, opt.ChunkSize),
+		meta: h.AllocOrGet(name+"/queue.meta", 2*pmem.LineWords),
+	}
+	bootCtx := h.NewCtx()
+	if q.meta.Load(pmem.LineWords) != queueMagic {
+		dummy := q.p.AllocFresh(bootCtx, 0)
+		q.p.Store(dummy, 0, 0)
+		q.p.Store(dummy, 1, pool.Nil)
+		bootCtx.PWB(q.p.Region(), q.p.Offset(dummy), nodeWords)
+		bootCtx.PFence()
+		q.meta.Store(0, dummy)
+		q.meta.Store(pmem.LineWords, queueMagic)
+		bootCtx.PWB(q.meta, 0, 2*pmem.LineWords)
+		bootCtx.PSync()
+	}
+	dummy := q.meta.Load(0)
+
+	switch kind {
+	case Blocking:
+		eo := &pbEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
+		do := &pbDeqObj{q: q, dummy: dummy, recycle: opt.Recycling, per: make([]roundScratch, n)}
+		ie := core.NewPBComb(h, name+"/enq", n, eo)
+		id := core.NewPBComb(h, name+"/deq", n, do)
+		ie.PostSync = func(env *core.Env) {
+			// The round's nodes are durable: expose them to dequeuers.
+			q.oldTail.Store(env.State.Load(0))
+		}
+		if opt.Recycling {
+			id.PostSync = func(env *core.Env) { do.commit(env.Combiner) }
+		}
+		q.enq, q.deq = ie, id
+	case WaitFree:
+		eo := &wfEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
+		do := &wfDeqObj{q: q, dummy: dummy}
+		ie := core.NewPWFComb(h, name+"/enq", n, eo)
+		id := core.NewPWFComb(h, name+"/deq", n, do)
+		ie.PostSC = func(env *core.Env, ok bool) { eo.commit(env.Combiner, ok) }
+		do.ie = ie
+		q.enq, q.deq = ie, id
+		// Recovery: if a pending part was published but the splice did not
+		// persist before the crash, re-perform it (idempotent).
+		st := ie.CurrentState()
+		if pendH := st.Load(1); pendH != pool.Nil {
+			tail := st.Load(0)
+			q.p.Store(tail, 1, pendH)
+			bootCtx.PWB(q.p.Region(), q.p.Offset(tail), nodeWords)
+			bootCtx.PFence()
+		}
+	default:
+		panic("queue: unknown kind")
+	}
+
+	// After a restart only durable nodes exist, so the durable tail bounds
+	// what dequeuers may remove.
+	q.oldTail.Store(q.tailForDequeuers())
+	return q
+}
+
+// tailForDequeuers returns the last node dequeue combiners may consume
+// according to the enqueue instance's current (durable at rest) state.
+func (q *Queue) tailForDequeuers() uint64 {
+	st := q.enq.CurrentState()
+	if q.kind == WaitFree {
+		if pendT := st.Load(2); pendT != pool.Nil {
+			return pendT
+		}
+	}
+	return st.Load(0)
+}
+
+// Enqueue appends v. seq counts this thread's enqueues (starting at 1).
+func (q *Queue) Enqueue(tid int, v, seq uint64) {
+	q.enq.Invoke(tid, OpEnq, v, 0, seq)
+}
+
+// Dequeue removes the oldest value. seq counts this thread's dequeues.
+func (q *Queue) Dequeue(tid int, seq uint64) (uint64, bool) {
+	r := q.deq.Invoke(tid, OpDeq, 0, 0, seq)
+	if r == Empty {
+		return 0, false
+	}
+	return r, true
+}
+
+// RecoverEnqueue re-runs (or fetches the response of) an interrupted
+// enqueue.
+func (q *Queue) RecoverEnqueue(tid int, v, seq uint64) uint64 {
+	return q.enq.Recover(tid, OpEnq, v, 0, seq)
+}
+
+// RecoverDequeue re-runs (or fetches the response of) an interrupted
+// dequeue.
+func (q *Queue) RecoverDequeue(tid int, seq uint64) (uint64, bool) {
+	r := q.deq.Recover(tid, OpDeq, 0, 0, seq)
+	if r == Empty {
+		return 0, false
+	}
+	return r, true
+}
+
+// EnqProtocol and DeqProtocol expose the combining instances (harness use).
+func (q *Queue) EnqProtocol() core.Protocol { return q.enq }
+
+// DeqProtocol exposes the dequeue-side combining instance.
+func (q *Queue) DeqProtocol() core.Protocol { return q.deq }
+
+// Snapshot walks the queue head-to-tail. Quiescent use only.
+func (q *Queue) Snapshot() []uint64 {
+	head := q.deq.CurrentState().Load(0)
+	est := q.enq.CurrentState()
+	tail := est.Load(0)
+	var pendH, pendT uint64 = pool.Nil, pool.Nil
+	if q.kind == WaitFree {
+		pendH, pendT = est.Load(1), est.Load(2)
+	}
+	_ = pendT
+	var out []uint64
+	cur := head
+	for {
+		var next uint64
+		if cur == tail && pendH != pool.Nil {
+			// Follow the (possibly not yet spliced) pending part.
+			next = pendH
+			pendH = pool.Nil
+		} else {
+			next = q.p.Load(cur, 1)
+		}
+		if next == pool.Nil {
+			break
+		}
+		out = append(out, q.p.Load(next, 0))
+		cur = next
+	}
+	return out
+}
+
+// Len returns the number of elements. Quiescent use only.
+func (q *Queue) Len() int { return len(q.Snapshot()) }
+
+// roundScratch is per-combiner bookkeeping shared by the queue objects.
+type roundScratch struct {
+	fs    pmem.FlushSet
+	alloc []uint64
+	freed []uint64
+}

@@ -1,0 +1,56 @@
+package pcomb
+
+import "pcomb/internal/hashmap"
+
+// Map is a detectably recoverable concurrent hash map built from multiple
+// combining instances (one per shard) — the sharded-combining construction
+// the paper's Section 8 poses as an open problem. Keys must be in
+// [1, 2^64-3]; values are arbitrary uint64.
+type Map struct {
+	m *hashmap.Map
+}
+
+// MapOptions tunes a map instance; the zero value is sensible.
+type MapOptions struct {
+	// Shards is the number of independent combining instances (0 = 8).
+	// Operations on different shards proceed in parallel.
+	Shards int
+	// Capacity is the total slot count across shards (0 = 64 per shard).
+	Capacity int
+}
+
+// NewMap creates — or, after Crash, re-opens — a recoverable hash map.
+func (s *System) NewMap(name string, threads int, kind Kind, opts ...MapOptions) *Map {
+	var o MapOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	k := hashmap.Blocking
+	if kind == WaitFree {
+		k = hashmap.WaitFree
+	}
+	return &Map{m: hashmap.New(s.heap, name, threads, k, o.Shards, o.Capacity)}
+}
+
+// Put maps key to val for thread tid; existed reports whether a previous
+// value was replaced (prev is Empty-1 when the shard was full).
+func (m *Map) Put(tid int, key, val uint64) (prev uint64, existed bool) {
+	return m.m.Put(tid, key, val)
+}
+
+// Get returns the value mapped to key.
+func (m *Map) Get(tid int, key uint64) (uint64, bool) { return m.m.Get(tid, key) }
+
+// Delete removes key, returning the removed value.
+func (m *Map) Delete(tid int, key uint64) (uint64, bool) { return m.m.Delete(tid, key) }
+
+// Recover resolves thread tid's interrupted operation exactly once.
+func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
+	return m.m.Recover(tid)
+}
+
+// Len returns the number of live keys (quiescent use only).
+func (m *Map) Len() int { return m.m.Len() }
+
+// Range iterates all pairs (quiescent use only).
+func (m *Map) Range(f func(key, val uint64) bool) { m.m.Range(f) }

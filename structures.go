@@ -1,0 +1,264 @@
+package pcomb
+
+import (
+	"pcomb/internal/core"
+	"pcomb/internal/heap"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+// Queue is a detectably recoverable concurrent FIFO queue (PBqueue or
+// PWFqueue). Values must be below 2^64-1 (the top value is the internal
+// empty sentinel).
+type Queue struct {
+	q   *queue.Queue
+	sys *sysArea
+}
+
+// QueueOptions tunes a queue instance; the zero value is sensible.
+type QueueOptions struct {
+	// NoRecycling disables node reclamation (the Figure 2a ablation;
+	// PWFqueue never recycles, matching the paper).
+	NoRecycling bool
+	// Capacity bounds the node arena (0 = default).
+	Capacity int
+}
+
+// NewQueue creates — or, after Crash, re-opens — a recoverable queue for
+// the given number of threads.
+func (s *System) NewQueue(name string, threads int, kind Kind, opts ...QueueOptions) *Queue {
+	var o QueueOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Queue{
+		q: queue.New(s.heap, name, threads, kindQueue(kind), queue.Options{
+			Recycling: kind == Blocking && !o.NoRecycling,
+			Capacity:  o.Capacity,
+		}),
+		sys: newSysArea(s.heap, name, threads),
+	}
+}
+
+// Enqueue appends v for thread tid.
+func (q *Queue) Enqueue(tid int, v uint64) {
+	seq := q.sys.begin(tid, 0, uint64(OpEnqueue), v, 0)
+	q.q.Enqueue(tid, v, seq)
+	q.sys.end(tid)
+}
+
+// Dequeue removes the oldest value for thread tid; ok is false when empty.
+func (q *Queue) Dequeue(tid int) (v uint64, ok bool) {
+	seq := q.sys.begin(tid, 1, uint64(OpDequeue), 0, 0)
+	v, ok = q.q.Dequeue(tid, seq)
+	q.sys.end(tid)
+	return v, ok
+}
+
+// Recover resolves thread tid's operation that was interrupted by a crash:
+// it re-runs it (or fetches its response, if it had already taken effect —
+// never both) and reports which operation it was and its result. pending is
+// false if tid had no interrupted operation.
+func (q *Queue) Recover(tid int) (op Op, result uint64, pending bool) {
+	opc, a0, _, seq, ok := q.sys.pending(tid)
+	if !ok {
+		return OpNone, 0, false
+	}
+	switch Op(opc) {
+	case OpEnqueue:
+		result = q.q.RecoverEnqueue(tid, a0, seq)
+	case OpDequeue:
+		if v, got := q.q.RecoverDequeue(tid, seq); got {
+			result = v
+		} else {
+			result = queue.Empty
+		}
+	}
+	q.sys.end(tid)
+	return Op(opc), result, true
+}
+
+// Snapshot returns the queue contents head-to-tail (quiescent use only).
+func (q *Queue) Snapshot() []uint64 { return q.q.Snapshot() }
+
+// Len returns the number of elements (quiescent use only).
+func (q *Queue) Len() int { return q.q.Len() }
+
+// Stack is a detectably recoverable concurrent stack (PBstack/PWFstack).
+type Stack struct {
+	s   *stack.Stack
+	sys *sysArea
+}
+
+// StackOptions tunes a stack instance; the zero value enables the paper's
+// elimination and recycling optimizations.
+type StackOptions struct {
+	// NoElimination disables Push/Pop pairing in the combiner.
+	NoElimination bool
+	// NoRecycling disables the shared recycling stack.
+	NoRecycling bool
+	// Capacity bounds the node arena (0 = default).
+	Capacity int
+}
+
+// NewStack creates — or re-opens — a recoverable stack.
+func (s *System) NewStack(name string, threads int, kind Kind, opts ...StackOptions) *Stack {
+	var o StackOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &Stack{
+		s: stack.New(s.heap, name, threads, kindStack(kind), stack.Options{
+			Elimination: !o.NoElimination,
+			Recycling:   !o.NoRecycling,
+			Capacity:    o.Capacity,
+		}),
+		sys: newSysArea(s.heap, name, threads),
+	}
+}
+
+// Push pushes v for thread tid.
+func (st *Stack) Push(tid int, v uint64) {
+	seq := st.sys.begin(tid, 0, uint64(OpPush), v, 0)
+	st.s.Push(tid, v, seq)
+	st.sys.end(tid)
+}
+
+// Pop removes the top value for thread tid; ok is false when empty.
+func (st *Stack) Pop(tid int) (v uint64, ok bool) {
+	seq := st.sys.begin(tid, 0, uint64(OpPop), 0, 0)
+	v, ok = st.s.Pop(tid, seq)
+	st.sys.end(tid)
+	return v, ok
+}
+
+// Recover resolves thread tid's interrupted operation, as Queue.Recover.
+func (st *Stack) Recover(tid int) (op Op, result uint64, pending bool) {
+	opc, a0, _, seq, ok := st.sys.pending(tid)
+	if !ok {
+		return OpNone, 0, false
+	}
+	var inner uint64
+	switch Op(opc) {
+	case OpPush:
+		inner = stack.OpPush
+	case OpPop:
+		inner = stack.OpPop
+	}
+	result = st.s.Recover(tid, inner, a0, seq)
+	st.sys.end(tid)
+	return Op(opc), result, true
+}
+
+// Snapshot returns the stack contents top-to-bottom (quiescent use only).
+func (st *Stack) Snapshot() []uint64 { return st.s.Snapshot() }
+
+// Len returns the number of elements (quiescent use only).
+func (st *Stack) Len() int { return st.s.Len() }
+
+// Heap is a detectably recoverable concurrent bounded min-heap (PBheap or
+// the wait-free PWFheap extension).
+type Heap struct {
+	h   *heap.Heap
+	sys *sysArea
+}
+
+// NewHeap creates — or re-opens — a recoverable min-heap holding at most
+// bound keys.
+func (s *System) NewHeap(name string, threads int, kind Kind, bound int) *Heap {
+	return &Heap{
+		h:   heap.New(s.heap, name, threads, kindHeap(kind), bound),
+		sys: newSysArea(s.heap, name, threads),
+	}
+}
+
+// Insert adds key; it reports false when the heap is full.
+func (h *Heap) Insert(tid int, key uint64) bool {
+	seq := h.sys.begin(tid, 0, uint64(OpInsert), key, 0)
+	ok := h.h.Insert(tid, key, seq)
+	h.sys.end(tid)
+	return ok
+}
+
+// DeleteMin removes and returns the smallest key; ok is false when empty.
+func (h *Heap) DeleteMin(tid int) (key uint64, ok bool) {
+	seq := h.sys.begin(tid, 0, uint64(OpDeleteMin), 0, 0)
+	key, ok = h.h.DeleteMin(tid, seq)
+	h.sys.end(tid)
+	return key, ok
+}
+
+// GetMin returns the smallest key without removing it.
+func (h *Heap) GetMin(tid int) (key uint64, ok bool) {
+	seq := h.sys.begin(tid, 0, uint64(OpGetMin), 0, 0)
+	key, ok = h.h.GetMin(tid, seq)
+	h.sys.end(tid)
+	return key, ok
+}
+
+// Recover resolves thread tid's interrupted operation, as Queue.Recover.
+func (h *Heap) Recover(tid int) (op Op, result uint64, pending bool) {
+	opc, a0, _, seq, ok := h.sys.pending(tid)
+	if !ok {
+		return OpNone, 0, false
+	}
+	var inner uint64
+	switch Op(opc) {
+	case OpInsert:
+		inner = heap.OpInsert
+	case OpDeleteMin:
+		inner = heap.OpDeleteMin
+	case OpGetMin:
+		inner = heap.OpGetMin
+	}
+	result = h.h.Recover(tid, inner, a0, seq)
+	h.sys.end(tid)
+	return Op(opc), result, true
+}
+
+// Len returns the number of keys (quiescent use only).
+func (h *Heap) Len() int { return h.h.Len() }
+
+// Keys returns the raw key array in heap order (quiescent use only).
+func (h *Heap) Keys() []uint64 { return h.h.Keys() }
+
+// Recoverable is any sequential Object made recoverable and concurrent by a
+// combining protocol — the paper's universal-construction usage.
+type Recoverable struct {
+	c   core.Protocol
+	sys *sysArea
+}
+
+// NewObject creates — or re-opens — a recoverable version of obj.
+func (s *System) NewObject(name string, threads int, kind Kind, obj Object) *Recoverable {
+	var c core.Protocol
+	if kind == WaitFree {
+		c = core.NewPWFComb(s.heap, name, threads, obj)
+	} else {
+		c = core.NewPBComb(s.heap, name, threads, obj)
+	}
+	return &Recoverable{c: c, sys: newSysArea(s.heap, name, threads)}
+}
+
+// Invoke runs one operation (op, a0, a1 are interpreted by the Object).
+func (r *Recoverable) Invoke(tid int, op, a0, a1 uint64) uint64 {
+	seq := r.sys.begin(tid, 0, op, a0, a1)
+	ret := r.c.Invoke(tid, op, a0, a1, seq)
+	r.sys.end(tid)
+	return ret
+}
+
+// Recover resolves thread tid's interrupted operation and returns its
+// response.
+func (r *Recoverable) Recover(tid int) (op uint64, result uint64, pending bool) {
+	opc, a0, a1, seq, ok := r.sys.pending(tid)
+	if !ok {
+		return 0, 0, false
+	}
+	result = r.c.Recover(tid, opc, a0, a1, seq)
+	r.sys.end(tid)
+	return opc, result, true
+}
+
+// State views the current object state (quiescent use only).
+func (r *Recoverable) State() State { return r.c.CurrentState() }

@@ -1,0 +1,68 @@
+package pcomb
+
+import "pcomb/internal/pmem"
+
+// sysArea models the system support the paper assumes for detectable
+// recoverability: for every thread it durably records the operation in
+// progress (code, argument, per-type sequence number) and whether it
+// completed, so that after a crash the system can invoke the recovery
+// function with the original arguments. Writes bypass the instruction
+// pipeline (DirectStore): this state is persisted by the system, not by the
+// algorithm, and its cost is deliberately not charged to the algorithms —
+// matching the paper's experimental setup, where seq is an input.
+type sysArea struct {
+	r *pmem.Region
+}
+
+// Per-thread layout (one cache line each):
+//
+//	[0] seqA   — sequence counter for the structure's first op class
+//	[1] seqB   — sequence counter for the second op class (queues)
+//	[2] op     — operation code in progress
+//	[3] a0     — first argument
+//	[4] a1     — second argument
+//	[5] seq    — sequence number passed to the in-progress op
+//	[6] done   — 1 if the op completed (response delivered)
+const (
+	saSeqA = iota
+	saSeqB
+	saOp
+	saA0
+	saA1
+	saSeq
+	saDone
+)
+
+func newSysArea(h *pmem.Heap, name string, n int) *sysArea {
+	return &sysArea{r: h.AllocOrGet(name+"/sysarea", n*pmem.LineWords)}
+}
+
+func (sa *sysArea) base(tid int) int { return tid * pmem.LineWords }
+
+// begin durably records an op in progress and returns its sequence number,
+// drawn from counter class (0 or 1).
+func (sa *sysArea) begin(tid int, class int, op, a0, a1 uint64) uint64 {
+	b := sa.base(tid)
+	seq := sa.r.Load(b+saSeqA+class) + 1
+	sa.r.DirectStore(b+saSeqA+class, seq)
+	sa.r.DirectStore(b+saOp, op)
+	sa.r.DirectStore(b+saA0, a0)
+	sa.r.DirectStore(b+saA1, a1)
+	sa.r.DirectStore(b+saSeq, seq)
+	sa.r.DirectStore(b+saDone, 0)
+	return seq
+}
+
+// end durably marks the in-progress op completed.
+func (sa *sysArea) end(tid int) {
+	sa.r.DirectStore(sa.base(tid)+saDone, 1)
+}
+
+// pending reports the interrupted op of tid, if any.
+func (sa *sysArea) pending(tid int) (op, a0, a1, seq uint64, ok bool) {
+	b := sa.base(tid)
+	if sa.r.Load(b+saOp) == 0 || sa.r.Load(b+saDone) == 1 {
+		return 0, 0, 0, 0, false
+	}
+	return sa.r.Load(b + saOp), sa.r.Load(b + saA0), sa.r.Load(b + saA1), sa.r.Load(b + saSeq), true
+}
