@@ -20,8 +20,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"pcomb/internal/harness"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 )
 
@@ -36,11 +38,15 @@ func main() {
 		pfenceNs = flag.Int("pfence-ns", pmem.DefaultPfenceNs, "simulated pfence cost (ns)")
 		psyncNs  = flag.Int("psync-ns", pmem.DefaultPsyncNs, "simulated psync cost (ns)")
 		noCost   = flag.Bool("no-cost", false, "disable simulated persistence costs (counters only)")
+		metrics  = flag.Bool("metrics", false, "collect per-op latency histograms and combining stats")
+		jsonOut  = flag.String("json", "", "append one JSONL record per measured point to this file ('-' for stdout)")
+		expvarAt = flag.String("expvar", "", "serve /debug/vars on this address (e.g. :8090) with the run's records")
 	)
 	flag.Parse()
 
 	cfg := harness.Config{
-		Ops: *ops,
+		Ops:     *ops,
+		Metrics: *metrics,
 		Persist: pmem.Config{
 			Mode:     pmem.ModeCount,
 			PwbNs:    *pwbNs,
@@ -58,6 +64,54 @@ func main() {
 		cfg.Threads = append(cfg.Threads, n)
 	}
 
+	// Streaming export: every measured point becomes one JSONL record the
+	// moment it completes, and the accumulated records back the expvar
+	// endpoint for long-running sweeps.
+	var (
+		jsonW   *os.File
+		recMu   sync.Mutex
+		records []obs.RunRecord
+		curFig  string
+	)
+	if *jsonOut == "-" {
+		jsonW = os.Stdout
+	} else if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		jsonW = f
+	}
+	if jsonW != nil || *expvarAt != "" {
+		cfg.OnPoint = func(r harness.Result) {
+			rec := r.Record(curFig)
+			recMu.Lock()
+			records = append(records, rec)
+			recMu.Unlock()
+			if jsonW != nil {
+				if err := obs.AppendJSONL(jsonW, rec); err != nil {
+					fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *expvarAt != "" {
+		obs.Publish("pcomb-bench", func() any {
+			recMu.Lock()
+			defer recMu.Unlock()
+			return append([]obs.RunRecord(nil), records...)
+		})
+		ln, err := obs.Serve(*expvarAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expvar: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "expvar: serving http://%s/debug/vars\n", ln.Addr())
+	}
+
 	emit := func(title, metric string, series []harness.Series) {
 		switch *format {
 		case "csv":
@@ -66,6 +120,12 @@ func main() {
 			harness.PrintSeriesChart(os.Stdout, title, metric, series)
 		default:
 			harness.PrintSeries(os.Stdout, title, metric, series)
+			if *metrics {
+				// The mechanism-level view: tail latency and how much
+				// combining actually amortized the persistence cost.
+				harness.PrintSeries(os.Stdout, title, "lat-p99-ns", series)
+				harness.PrintSeries(os.Stdout, title, "comb-degree-mean", series)
+			}
 		}
 	}
 
@@ -106,16 +166,19 @@ func main() {
 	}
 
 	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext"}
+	do := func(f string) {
+		curFig = f // tags the JSONL records emitted while this figure runs
+		runs[f]()
+	}
 	if *figure == "all" {
 		for _, f := range order {
-			runs[f]()
+			do(f)
 		}
 		return
 	}
-	run, ok := runs[*figure]
-	if !ok {
+	if _, ok := runs[*figure]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v or all)\n", *figure, order)
 		os.Exit(2)
 	}
-	run()
+	do(*figure)
 }

@@ -17,11 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"pcomb/internal/baselines/ptm"
 	"pcomb/internal/baselines/queues"
 	"pcomb/internal/baselines/stacks"
 	"pcomb/internal/core"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
@@ -29,6 +31,8 @@ import (
 
 func main() {
 	verbose := flag.Bool("v", false, "dump every traced instruction")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)")
+	jsonOut := flag.String("json", "", "append one JSONL dispersion record per algorithm to this file ('-' for stdout)")
 	flag.Parse()
 
 	type target struct {
@@ -121,12 +125,64 @@ func main() {
 		}},
 	}
 
+	var jsonW *os.File
+	if *jsonOut == "-" {
+		jsonW = os.Stdout
+	} else if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		jsonW = f
+	}
+
+	var chromeTraces []obs.NamedTrace
 	fmt.Printf("%-22s %6s %6s %6s %6s %6s %14s\n",
 		"algorithm (2 ops)", "pwbs", "lines", "runs", "fences", "syncs", "consecutivity")
 	for _, tg := range targets {
 		h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
 		op := tg.run(h)
-		report(tg.name, traceAll(h, op), *verbose)
+		events := traceAll(h, op)
+		report(tg.name, events, *verbose)
+		if *chrome != "" {
+			chromeTraces = append(chromeTraces, obs.NamedTrace{Name: tg.name, Events: events})
+		}
+		if jsonW != nil {
+			d := pmem.Dispersal(events)
+			rec := struct {
+				Algorithm     string  `json:"algorithm"`
+				Pwbs          int     `json:"pwbs"`
+				Lines         int     `json:"lines"`
+				Runs          int     `json:"runs"`
+				Fences        int     `json:"fences"`
+				Syncs         int     `json:"syncs"`
+				Consecutivity float64 `json:"consecutivity"`
+			}{tg.name, d.Pwbs, d.Lines, d.Runs, d.Fences, d.Syncs, d.Consecutivity}
+			if err := obs.AppendJSONL(jsonW, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chrome trace: %v\n", err)
+			os.Exit(2)
+		}
+		if err := obs.WriteChromeTrace(f, chromeTraces); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "chrome trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "chrome trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *chrome)
 	}
 }
 

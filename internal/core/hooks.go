@@ -1,5 +1,86 @@
 package core
 
+// CombTracker observes combining-protocol-level events: rounds and their
+// combining degree, operations completed by helping, failed acquisitions,
+// and StateRec copy churn. obs.CombStats implements it; install one with
+// SetCombTracker. Like the memmodel hooks below, every call site is guarded
+// by a nil check so the uninstrumented fast path stays unperturbed.
+type CombTracker interface {
+	// Round reports a successful combining round by tid serving degree ops.
+	Round(tid, degree int)
+	// Helped reports an operation by tid served by some other combiner.
+	Helped(tid int)
+	// LockFail reports a failed combiner-lock CAS by tid (PBcomb).
+	LockFail(tid int)
+	// SCFail reports a discarded round by tid: failed SC or failed
+	// LL validation after copying/serving (PWFcomb).
+	SCFail(tid int)
+	// Copied reports a StateRec copy of the given word count by tid.
+	Copied(tid, words int)
+}
+
+// CombTrackable is satisfied by protocol instances (and data structures
+// forwarding to them) that can report combining statistics.
+type CombTrackable interface {
+	SetCombTracker(CombTracker)
+}
+
+// SetCombTracker installs combining-level instrumentation on a PBComb
+// instance; nil uninstalls it.
+func (c *PBComb) SetCombTracker(t CombTracker) { c.cstat = t }
+
+// SetCombTracker installs combining-level instrumentation on a PWFComb
+// instance; nil uninstalls it.
+func (c *PWFComb) SetCombTracker(t CombTracker) { c.cstat = t }
+
+func (c *PBComb) onRound(tid, degree int) {
+	if c.cstat != nil {
+		c.cstat.Round(tid, degree)
+	}
+}
+
+func (c *PBComb) onHelped(tid int) {
+	if c.cstat != nil {
+		c.cstat.Helped(tid)
+	}
+}
+
+func (c *PBComb) onLockFail(tid int) {
+	if c.cstat != nil {
+		c.cstat.LockFail(tid)
+	}
+}
+
+func (c *PBComb) onCopied(tid, words int) {
+	if c.cstat != nil {
+		c.cstat.Copied(tid, words)
+	}
+}
+
+func (c *PWFComb) onRoundW(tid, degree int) {
+	if c.cstat != nil {
+		c.cstat.Round(tid, degree)
+	}
+}
+
+func (c *PWFComb) onHelpedW(tid int) {
+	if c.cstat != nil {
+		c.cstat.Helped(tid)
+	}
+}
+
+func (c *PWFComb) onSCFailW(tid int) {
+	if c.cstat != nil {
+		c.cstat.SCFail(tid)
+	}
+}
+
+func (c *PWFComb) onCopiedW(tid, words int) {
+	if c.cstat != nil {
+		c.cstat.Copied(tid, words)
+	}
+}
+
 // Instrumentation forwarders: no-ops unless a memmodel.Tracker is installed
 // via SetTracker. They let Table 1's shared-memory counters be collected
 // without perturbing the uninstrumented fast path.

@@ -1,0 +1,117 @@
+package core_test
+
+// Integration of the combining protocols with the observability layer: the
+// CombTracker hook must see real combining (degree > 1 under concurrency)
+// and account for every operation exactly once as either combined or
+// discarded-and-retried.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"pcomb/internal/core"
+	"pcomb/internal/obs"
+	"pcomb/internal/pmem"
+)
+
+// obs.CombStats must satisfy the hook interface without core importing obs.
+var _ core.CombTracker = (*obs.CombStats)(nil)
+
+// mulOne is the float64 bit pattern of 1.0 (a no-op multiplicand).
+const mulOne = 0x3FF0000000000000
+
+func runAtomicFloat(t *testing.T, build func(h *pmem.Heap, n int) interface {
+	Invoke(tid int, op, a0, a1, seq uint64) uint64
+	SetCombTracker(core.CombTracker)
+}) (obs.CombSnapshot, uint64) {
+	t.Helper()
+	const threads = 8
+	const per = 2000
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount}) // default costs: real combining windows
+	c := build(h, threads)
+	st := obs.NewCombStats(threads)
+	c.SetCombTracker(st)
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				c.Invoke(tid, core.OpAtomicFloatMul, mulOne, 0, i+1)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	return st.Snapshot(), threads * per
+}
+
+func TestPBCombTrackerAccounting(t *testing.T) {
+	cs, total := runAtomicFloat(t, func(h *pmem.Heap, n int) interface {
+		Invoke(tid int, op, a0, a1, seq uint64) uint64
+		SetCombTracker(core.CombTracker)
+	} {
+		return core.NewPBComb(h, "c", n, core.AtomicFloat{Initial: 1})
+	})
+	// Every operation is served by exactly one successful round.
+	if cs.CombinedOps != total {
+		t.Fatalf("combined ops = %d, want %d", cs.CombinedOps, total)
+	}
+	if cs.Rounds == 0 || cs.Rounds > total {
+		t.Fatalf("rounds = %d", cs.Rounds)
+	}
+	if cs.MeanDegree < 1 {
+		t.Fatalf("mean degree = %.2f", cs.MeanDegree)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 && cs.MeanDegree <= 1.0 {
+		// With 8 threads against the default persistence costs the combiner
+		// must batch: the whole point of the protocol. (Skip the assertion
+		// on effectively-serial hosts where no overlap can form.)
+		t.Fatalf("no combining observed: mean degree %.4f over %d rounds", cs.MeanDegree, cs.Rounds)
+	}
+	if cs.Copies != cs.Rounds {
+		t.Fatalf("copies = %d, rounds = %d (PBcomb copies once per round)", cs.Copies, cs.Rounds)
+	}
+	if cs.SCFails != 0 {
+		t.Fatalf("lock-based protocol reported %d SC failures", cs.SCFails)
+	}
+}
+
+func TestPWFCombTrackerAccounting(t *testing.T) {
+	cs, total := runAtomicFloat(t, func(h *pmem.Heap, n int) interface {
+		Invoke(tid int, op, a0, a1, seq uint64) uint64
+		SetCombTracker(core.CombTracker)
+	} {
+		return core.NewPWFComb(h, "c", n, core.AtomicFloat{Initial: 1})
+	})
+	if cs.CombinedOps != total {
+		t.Fatalf("combined ops = %d, want %d", cs.CombinedOps, total)
+	}
+	if cs.Rounds == 0 {
+		t.Fatal("no successful rounds")
+	}
+	if cs.LockFails != 0 {
+		t.Fatalf("LL/SC protocol reported %d lock failures", cs.LockFails)
+	}
+	// Copies happen on every attempt (successful or discarded), so there are
+	// at least as many copies as successful rounds.
+	if cs.Copies < cs.Rounds {
+		t.Fatalf("copies = %d < rounds = %d", cs.Copies, cs.Rounds)
+	}
+}
+
+func TestSetCombTrackerNilSafe(t *testing.T) {
+	// Without a tracker (and after clearing one) the protocols must run
+	// unchanged — the hooks are nil-guarded.
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+	c := core.NewPBComb(h, "c", 2, core.AtomicFloat{Initial: 1})
+	c.Invoke(0, core.OpAtomicFloatMul, mulOne, 0, 1)
+	st := obs.NewCombStats(2)
+	c.SetCombTracker(st)
+	c.Invoke(0, core.OpAtomicFloatMul, mulOne, 0, 2)
+	c.SetCombTracker(nil)
+	c.Invoke(0, core.OpAtomicFloatMul, mulOne, 0, 3)
+	if got := st.Snapshot().CombinedOps; got != 1 {
+		t.Fatalf("tracker saw %d ops, want exactly the one invoked while installed", got)
+	}
+}

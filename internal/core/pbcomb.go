@@ -70,6 +70,7 @@ type PBComb struct {
 	durableOnly bool
 
 	track *memmodel.Hooks
+	cstat CombTracker
 }
 
 // NewPBComb creates (or, after a crash, re-opens) a PBComb instance for n
@@ -227,6 +228,7 @@ func (c *PBComb) perform(tid int) uint64 {
 				}
 			}
 			mi = c.meta.Load(0)
+			c.onHelped(tid)
 			return c.state.Load(c.recOff(mi) + c.retOff + tid)
 		}
 		lval := c.lock.Load()
@@ -237,6 +239,7 @@ func (c *PBComb) perform(tid int) uint64 {
 				c.onLockWrite(tid)
 				return c.combine(tid, lval+1)
 			}
+			c.onLockFail(tid)
 			lval++
 		}
 		for c.lock.Load() == lval {
@@ -263,6 +266,7 @@ func (c *PBComb) perform(tid int) uint64 {
 				}
 			}
 			mi = c.meta.Load(0)
+			c.onHelped(tid)
 			return c.state.Load(c.recOff(mi) + c.retOff + tid)
 		}
 	}
@@ -280,6 +284,7 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	c.h.Touch(&c.hotRec[ind&1], tid)
 	c.state.CopyWords(dst, c.state, src, c.recWords)
 	c.onRecCopy(tid, int(mi), int(ind))
+	c.onCopied(tid, c.recWords)
 
 	batch := c.scratch[tid][:0]
 	for q := 0; q < c.n; q++ {
@@ -302,6 +307,7 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 		})
 	}
 	c.scratch[tid] = batch
+	c.onRound(tid, len(batch))
 
 	env := &Env{Ctx: ctx, State: State{r: c.state, off: dst, n: c.stWords}, Combiner: tid}
 	if c.sparse {

@@ -58,6 +58,7 @@ type PWFComb struct {
 	PostSC func(env *Env, success bool)
 
 	track *memmodel.Hooks
+	cstat CombTracker
 }
 
 // NewPWFComb creates (or re-opens after a crash) a PWFComb instance for n
@@ -204,6 +205,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 
 		c.state.CopyWords(dst, c.state, src, c.recWords)
 		c.onRecCopyW(tid, slot, my)
+		c.onCopiedW(tid, c.recWords)
 		srcPid := int(c.state.Load(dst+c.pidOff) % uint64(c.n))
 		c.state.Store(dst+c.pidOff, uint64(tid))
 
@@ -214,6 +216,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 			lval += 2
 		}
 		if !c.sv.VL(sv) {
+			c.onSCFailW(tid)
 			continue
 		}
 
@@ -266,6 +269,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 			c.h.Touch(&c.hotS, tid)
 			if c.sv.SC(sv, my) {
 				c.onSWriteW(tid)
+				c.onRoundW(tid, len(batch))
 				ctx.PWBLine(c.sreg, 0)
 				ctx.PSync()
 				c.flush[tid].V.CompareAndSwap(lval, lval+1)
@@ -274,14 +278,18 @@ func (c *PWFComb) perform(tid int) uint64 {
 				}
 				return c.readRecWord(tid, c.retOff+tid)
 			}
+			c.onSCFailW(tid)
 			if c.PostSC != nil {
 				c.PostSC(env, false)
 			}
-		} else if c.PostSC != nil {
+		} else {
 			// The validation after serving failed: this round is discarded
 			// exactly like a failed SC, so side effects must roll back too
 			// (a missing rollback here leaks every node the batch allocated).
-			c.PostSC(env, false)
+			c.onSCFailW(tid)
+			if c.PostSC != nil {
+				c.PostSC(env, false)
+			}
 		}
 		c.backoffs[tid].Wait()
 		c.backoffs[tid].Grow()
@@ -305,6 +313,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 		ctx.PSync()
 		c.flush[cpid].V.CompareAndSwap(lval, lval+1)
 	}
+	c.onHelpedW(tid)
 	return c.readRecWord(tid, c.retOff+tid)
 }
 

@@ -30,10 +30,8 @@ func PrintSeriesChart(w io.Writer, title, metric string, series []Series) {
 	threadSet := map[int]bool{}
 	maxV := 0.0
 	val := func(p Result) float64 {
-		if metric == "pwbs/op" {
-			return p.PwbsPerOp
-		}
-		return p.Mops
+		v, _ := p.Metric(metric)
+		return v
 	}
 	for _, s := range series {
 		for _, p := range s.Points {

@@ -26,6 +26,7 @@ func FigExt(cfg Config) []Series {
 			Build: func(cfg Config, n int) (*pmem.Heap, OpFunc) {
 				h := newHeap(cfg)
 				m := hashmap.New(h, "m", n, hashmap.Blocking, shards, 4096)
+				attachObs(cfg, m)
 				return h, func(tid int, i uint64, rng *rand.Rand) {
 					key := uint64(rng.Intn(2048)) + 1
 					if i%2 == 0 {
@@ -53,6 +54,7 @@ func FigExt(cfg Config) []Series {
 				} else {
 					hp = heap.New(h, "h", n, heap.Blocking, 1024)
 				}
+				attachObs(cfg, hp)
 				pre := uint64(512)
 				for i := uint64(0); i < pre; i++ {
 					hp.Insert(0, i*37%(1<<20), i+1)
@@ -77,6 +79,7 @@ func FigExt(cfg Config) []Series {
 				} else {
 					c = core.NewPBComb(h, "c", n, core.AtomicFloat{Initial: 1})
 				}
+				attachObs(cfg, c)
 				return h, func(tid int, i uint64, _ *rand.Rand) {
 					c.Invoke(tid, core.OpAtomicFloatMul, kMul, 0, i+1)
 				}
@@ -86,10 +89,12 @@ func FigExt(cfg Config) []Series {
 	return runSweep(cfg, algos)
 }
 
-// PrintSeriesCSV renders a figure as CSV: figure,metric,algorithm,threads,
-// mops,pwbs_per_op — one row per measured point, for downstream plotting.
+// PrintSeriesCSV renders a figure as CSV — one row per measured point, for
+// downstream plotting. The fixed columns cover every persistence
+// instruction class; any Extra metrics present across the series (latency
+// quantiles, combining stats) become additional columns in sorted key
+// order, empty where a point lacks them.
 func PrintSeriesCSV(w io.Writer, title string, series []Series) {
-	fmt.Fprintln(w, "figure,algorithm,threads,mops,pwbs_per_op")
 	tag := strings.Fields(title)
 	name := title
 	if len(tag) > 0 {
@@ -98,11 +103,39 @@ func PrintSeriesCSV(w io.Writer, title string, series []Series) {
 			name = strings.TrimSuffix(tag[1], ":")
 		}
 	}
+	extraSet := map[string]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			for k := range p.Extra {
+				extraSet[k] = true
+			}
+		}
+	}
+	extras := make([]string, 0, len(extraSet))
+	for k := range extraSet {
+		extras = append(extras, k)
+	}
+	sort.Strings(extras)
+
+	fmt.Fprint(w, "figure,algorithm,threads,mops,pwbs_per_op,pfences_per_op,psyncs_per_op")
+	for _, k := range extras {
+		fmt.Fprintf(w, ",%s", strings.NewReplacer(",", "_", "/", "_per_").Replace(k))
+	}
+	fmt.Fprintln(w)
 	for _, s := range series {
 		pts := append([]Result(nil), s.Points...)
 		sort.Slice(pts, func(i, j int) bool { return pts[i].Threads < pts[j].Threads })
 		for _, p := range pts {
-			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f\n", name, s.Name, p.Threads, p.Mops, p.PwbsPerOp)
+			fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.4f,%.4f",
+				name, s.Name, p.Threads, p.Mops, p.PwbsPerOp, p.PfencesPerOp, p.PsyncsPerOp)
+			for _, k := range extras {
+				if v, ok := p.Extra[k]; ok {
+					fmt.Fprintf(w, ",%.4f", v)
+				} else {
+					fmt.Fprint(w, ",")
+				}
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"pcomb/internal/core"
 	"pcomb/internal/heap"
 	"pcomb/internal/memmodel"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
@@ -36,11 +37,32 @@ func runSweep(cfg Config, algos []Algo) []Series {
 	for ai, a := range algos {
 		out[ai].Name = a.Name
 		for _, n := range cfg.Threads {
-			h, op := a.Build(cfg, n)
-			out[ai].Points = append(out[ai].Points, Measure(a.Name, h, n, cfg.Ops, op))
+			pcfg := cfg
+			var m *obs.Metrics
+			if cfg.Metrics {
+				m = obs.NewMetrics(n)
+				pcfg.obsM = m
+			}
+			h, op := a.Build(pcfg, n)
+			res := measure(a.Name, h, n, cfg.Ops, op, m)
+			out[ai].Points = append(out[ai].Points, res)
+			if cfg.OnPoint != nil {
+				cfg.OnPoint(res)
+			}
 		}
 	}
 	return out
+}
+
+// attachObs installs the point's combining-stats sink on v when metrics are
+// enabled and v supports it (baselines without combining silently don't).
+func attachObs(cfg Config, v any) {
+	if cfg.obsM == nil {
+		return
+	}
+	if ct, ok := v.(core.CombTrackable); ok {
+		ct.SetCombTracker(cfg.obsM.Comb)
+	}
 }
 
 // FigureAlgos returns the algorithm set of a figure ("1a", "2a", "2b",
@@ -68,6 +90,7 @@ func newHeap(cfg Config) *pmem.Heap { return pmem.NewHeap(cfg.Persist) }
 func afPBComb(cfg Config, n int) (*pmem.Heap, OpFunc) {
 	h := newHeap(cfg)
 	c := core.NewPBComb(h, "af", n, core.AtomicFloat{Initial: 1})
+	attachObs(cfg, c)
 	return h, func(tid int, i uint64, _ *rand.Rand) {
 		c.Invoke(tid, core.OpAtomicFloatMul, kMul, 0, i+1)
 	}
@@ -76,6 +99,7 @@ func afPBComb(cfg Config, n int) (*pmem.Heap, OpFunc) {
 func afPWFComb(cfg Config, n int) (*pmem.Heap, OpFunc) {
 	h := newHeap(cfg)
 	c := core.NewPWFComb(h, "af", n, core.AtomicFloat{Initial: 1})
+	attachObs(cfg, c)
 	return h, func(tid int, i uint64, _ *rand.Rand) {
 		c.Invoke(tid, core.OpAtomicFloatMul, kMul, 0, i+1)
 	}
@@ -129,6 +153,7 @@ func qPcomb(kind queue.Kind, recycle bool) func(cfg Config, n int) (*pmem.Heap, 
 		q := queue.New(h, "q", n, kind, queue.Options{
 			Recycling: recycle, Capacity: queueCap(cfg, n), ChunkSize: queueChunk,
 		})
+		attachObs(cfg, q)
 		return h, func(tid int, i uint64, _ *rand.Rand) {
 			if i%2 == 0 {
 				q.Enqueue(tid, i+1, i/2+1)
@@ -223,6 +248,7 @@ func sPcomb(kind stack.Kind, elim, rec bool) func(cfg Config, n int) (*pmem.Heap
 			Elimination: elim, Recycling: rec,
 			Capacity: queueCap(cfg, n), ChunkSize: queueChunk,
 		})
+		attachObs(cfg, s)
 		return h, func(tid int, i uint64, _ *rand.Rand) {
 			if i%2 == 0 {
 				s.Push(tid, i+1, i+1)
@@ -283,35 +309,25 @@ func Fig3a(cfg Config) []Series { return runSweep(cfg, fig3aAlgos()) }
 // Fig3b measures PBheap with bounds 64..1024, starting half-full and
 // issuing alternating HInsert/HDeleteMin.
 func Fig3b(cfg Config) []Series {
-	var out []Series
+	var algos []Algo
 	for _, bound := range []int{64, 128, 256, 512, 1024} {
-		name := fmt.Sprintf("PBheap-%d", bound)
-		var s Series
-		s.Name = name
-		for _, n := range cfg.Threads {
-			h := newHeap(cfg)
-			hp := heap.New(h, "h", n, heap.Blocking, bound)
-			pre := uint64(bound / 2)
-			rng := rand.New(rand.NewSource(42))
-			for i := uint64(0); i < pre; i++ {
-				hp.Insert(0, rng.Uint64()%(1<<30), i+1)
-			}
-			op := func(tid int, i uint64, r *rand.Rand) {
-				seq := i + 1
-				if tid == 0 {
-					seq += pre
+		bound := bound
+		algos = append(algos, Algo{
+			Name: fmt.Sprintf("PBheap-%d", bound),
+			Build: func(cfg Config, n int) (*pmem.Heap, OpFunc) {
+				h := newHeap(cfg)
+				hp := heap.New(h, "h", n, heap.Blocking, bound)
+				attachObs(cfg, hp)
+				pre := uint64(bound / 2)
+				rng := rand.New(rand.NewSource(42))
+				for i := uint64(0); i < pre; i++ {
+					hp.Insert(0, rng.Uint64()%(1<<30), i+1)
 				}
-				if i%2 == 0 {
-					hp.Insert(tid, r.Uint64()%(1<<30), seq)
-				} else {
-					hp.DeleteMin(tid, seq)
-				}
-			}
-			s.Points = append(s.Points, Measure(name, h, n, cfg.Ops, op))
-		}
-		out = append(out, s)
+				return h, HeapOp(hp, pre)
+			},
+		})
 	}
-	return out
+	return runSweep(cfg, algos)
 }
 
 // --- Figure 4: volatile AtomicFloat ------------------------------------
@@ -321,6 +337,7 @@ func volPBComb(cfg Config, n int) (*pmem.Heap, OpFunc) {
 	vcfg.Persist = pmem.Config{Mode: pmem.ModeVolatile, NoCost: cfg.Persist.NoCost, MissNs: cfg.Persist.MissNs}
 	h := newHeap(vcfg)
 	c := core.NewPBComb(h, "af", n, core.AtomicFloat{Initial: 1})
+	attachObs(cfg, c)
 	return h, func(tid int, i uint64, _ *rand.Rand) {
 		c.Invoke(tid, core.OpAtomicFloatMul, kMul, 0, i+1)
 	}

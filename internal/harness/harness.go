@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 )
 
@@ -24,13 +25,60 @@ type OpFunc func(tid int, i uint64, rng *rand.Rand)
 
 // Result is one measured point of a series.
 type Result struct {
-	Algorithm string
-	Threads   int
-	Ops       uint64
-	Elapsed   time.Duration
-	Mops      float64
-	PwbsPerOp float64
-	Extra     map[string]float64
+	Algorithm    string
+	Threads      int
+	Ops          uint64
+	Elapsed      time.Duration
+	Mops         float64
+	PwbsPerOp    float64
+	PfencesPerOp float64
+	PsyncsPerOp  float64
+	// Extra holds additional named metrics (latency quantiles, combining
+	// stats, ...); PrintSeries and PrintSeriesChart can render any key.
+	Extra map[string]float64
+	// Obs is the point's metrics sink when measured with instrumentation
+	// (MeasureMetrics / Config.Metrics); nil otherwise.
+	Obs *obs.Metrics
+}
+
+// Metric returns the named metric of this point: "Mops" (also "", "mops",
+// "Mops/s"), "pwbs/op", "pfences/op", "psyncs/op", or any Result.Extra key.
+func (r Result) Metric(name string) (float64, bool) {
+	switch name {
+	case "", "mops", "Mops", "Mops/s":
+		return r.Mops, true
+	case "pwbs/op":
+		return r.PwbsPerOp, true
+	case "pfences/op":
+		return r.PfencesPerOp, true
+	case "psyncs/op":
+		return r.PsyncsPerOp, true
+	}
+	v, ok := r.Extra[name]
+	return v, ok
+}
+
+// Record shapes the point as a structured JSONL export record.
+func (r Result) Record(figure string) obs.RunRecord {
+	rec := obs.RunRecord{
+		Figure:       figure,
+		Algorithm:    r.Algorithm,
+		Threads:      r.Threads,
+		Ops:          r.Ops,
+		ElapsedNs:    r.Elapsed.Nanoseconds(),
+		Mops:         r.Mops,
+		PwbsPerOp:    r.PwbsPerOp,
+		PfencesPerOp: r.PfencesPerOp,
+		PsyncsPerOp:  r.PsyncsPerOp,
+		Extra:        r.Extra,
+	}
+	if r.Obs != nil {
+		rec.Latency = r.Obs.LatencySummary()
+		if cs := r.Obs.Comb.Snapshot(); cs.Rounds > 0 {
+			rec.Combining = &cs
+		}
+	}
+	return rec
 }
 
 // Series is one line of a figure: an algorithm across thread counts.
@@ -43,6 +91,21 @@ type Series struct {
 // paper's local-work loop between operations, and reports throughput plus
 // per-operation persistence-instruction counts from the heap.
 func Measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc) Result {
+	return measure(alg, h, n, totalOps, op, nil)
+}
+
+// MeasureMetrics is Measure with per-operation latency recording into m's
+// histogram; the returned Result carries m and the flattened metric values
+// in Extra. Install m.Comb on the structure under test (SetCombTracker)
+// before measuring to also collect combining statistics.
+func MeasureMetrics(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc, m *obs.Metrics) Result {
+	if m == nil {
+		m = obs.NewMetrics(n)
+	}
+	return measure(alg, h, n, totalOps, op, m)
+}
+
+func measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc, m *obs.Metrics) Result {
 	per := totalOps / uint64(n)
 	if per == 0 {
 		per = 1
@@ -57,7 +120,13 @@ func Measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc) Result
 			rng := rand.New(rand.NewSource(int64(tid)*2654435761 + 1))
 			sink := uint64(0)
 			for i := uint64(0); i < per; i++ {
-				op(tid, i, rng)
+				if m != nil {
+					t0 := obs.Now()
+					op(tid, i, rng)
+					m.RecordLatency(tid, uint64(obs.Now()-t0))
+				} else {
+					op(tid, i, rng)
+				}
 				w := rng.Uint64() % LocalWorkMax
 				for j := uint64(0); j < w; j++ {
 					sink += j
@@ -76,14 +145,21 @@ func Measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc) Result
 	elapsed := time.Since(start)
 	ops := per * uint64(n)
 	st := h.Stats()
-	return Result{
-		Algorithm: alg,
-		Threads:   n,
-		Ops:       ops,
-		Elapsed:   elapsed,
-		Mops:      float64(ops) / elapsed.Seconds() / 1e6,
-		PwbsPerOp: float64(st.Pwbs) / float64(ops),
+	res := Result{
+		Algorithm:    alg,
+		Threads:      n,
+		Ops:          ops,
+		Elapsed:      elapsed,
+		Mops:         float64(ops) / elapsed.Seconds() / 1e6,
+		PwbsPerOp:    float64(st.Pwbs) / float64(ops),
+		PfencesPerOp: float64(st.Pfences) / float64(ops),
+		PsyncsPerOp:  float64(st.Psyncs) / float64(ops),
 	}
+	if m != nil {
+		res.Extra = m.Extra(ops)
+		res.Obs = m
+	}
+	return res
 }
 
 var sinkMu sync.Mutex
@@ -104,6 +180,19 @@ type Config struct {
 	Ops uint64
 	// Persist configures the simulated NVMM cost model.
 	Persist pmem.Config
+	// Metrics enables per-point obs instrumentation: operation-latency
+	// histograms plus combining statistics for structures that support it.
+	// Results then carry the values in Extra and the sink in Obs.
+	Metrics bool
+	// OnPoint, when non-nil, is invoked after each measured point (sweeps
+	// call it synchronously, in order). Tools use it to stream JSONL or
+	// refresh an expvar endpoint while a long run progresses.
+	OnPoint func(Result)
+
+	// obsM carries the current point's metrics sink from runSweep into the
+	// algorithm builders, which attach it to structures supporting
+	// core.CombTrackable.
+	obsM *obs.Metrics
 }
 
 // DefaultConfig mirrors the paper's x-axis, scaled for a small host.
@@ -116,7 +205,9 @@ func DefaultConfig() Config {
 }
 
 // PrintSeries renders a figure as an aligned table: one row per thread
-// count, one column per algorithm, in the given metric.
+// count, one column per algorithm, in the given metric. Any metric name
+// Result.Metric understands works, including Extra keys such as
+// "lat-p99-ns" or "comb-degree-mean"; points missing the metric print 0.
 func PrintSeries(w io.Writer, title, metric string, series []Series) {
 	fmt.Fprintf(w, "# %s (%s)\n", title, metric)
 	fmt.Fprintf(w, "%8s", "threads")
@@ -135,10 +226,7 @@ func PrintSeries(w io.Writer, title, metric string, series []Series) {
 				rows[p.Threads] = make([]float64, len(series))
 				threads = append(threads, p.Threads)
 			}
-			v := p.Mops
-			if metric == "pwbs/op" {
-				v = p.PwbsPerOp
-			}
+			v, _ := p.Metric(metric)
 			rows[p.Threads][si] = v
 		}
 	}

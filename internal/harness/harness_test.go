@@ -163,7 +163,7 @@ func TestPrintSeriesCSV(t *testing.T) {
 	var buf bytes.Buffer
 	PrintSeriesCSV(&buf, "Figure 1c: ablation", series)
 	out := buf.String()
-	if !strings.HasPrefix(out, "figure,algorithm,threads,mops,pwbs_per_op\n") {
+	if !strings.HasPrefix(out, "figure,algorithm,threads,mops,pwbs_per_op,pfences_per_op,psyncs_per_op\n") {
 		t.Fatalf("missing CSV header:\n%s", out)
 	}
 	lines := strings.Count(out, "\n")

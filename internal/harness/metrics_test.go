@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"pcomb/internal/obs"
+	"pcomb/internal/pmem"
+)
+
+func TestMeasureMetricsFillsLatency(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeCount, NoCost: true})
+	m := obs.NewMetrics(2)
+	res := MeasureMetrics("x", h, 2, 500, func(tid int, i uint64, _ *rand.Rand) {
+		time.Sleep(time.Microsecond)
+	}, m)
+	if res.Ops != 500 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Obs != m {
+		t.Fatal("Result.Obs not set")
+	}
+	for _, k := range []string{"lat-mean-ns", "lat-p50-ns", "lat-p99-ns"} {
+		if v, ok := res.Extra[k]; !ok || v <= 0 {
+			t.Fatalf("Extra[%q] = %v, %v", k, v, ok)
+		}
+	}
+	if res.Extra["lat-p50-ns"] < 1000 {
+		t.Fatalf("p50 %.0fns below the 1µs sleep floor", res.Extra["lat-p50-ns"])
+	}
+	if ls := m.LatencySummary(); ls == nil || ls.Count != 500 {
+		t.Fatalf("latency summary %+v", ls)
+	}
+}
+
+func TestMetricsSweepProducesCombStats(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Metrics = true
+	var points int
+	cfg.OnPoint = func(r Result) { points++ }
+	series := Fig1a(cfg)
+	checkSeries(t, "1a+metrics", series, 6)
+	if want := 6 * len(cfg.Threads); points != want {
+		t.Fatalf("OnPoint fired %d times, want %d", points, want)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"PBcomb", "PWFcomb"} {
+		for _, p := range byName[name].Points {
+			if p.Extra["lat-p50-ns"] <= 0 {
+				t.Fatalf("%s: no latency quantiles in Extra", name)
+			}
+			if p.Extra["comb-degree-mean"] < 1 {
+				t.Fatalf("%s: no combining stats in Extra: %v", name, p.Extra)
+			}
+			if p.Obs == nil || p.Obs.Comb.Snapshot().CombinedOps != p.Ops {
+				t.Fatalf("%s: combiner accounting does not cover all %d ops", name, p.Ops)
+			}
+		}
+	}
+	// Non-combining baselines must not claim combining stats.
+	for _, p := range byName["Redo"].Points {
+		if _, ok := p.Extra["comb-degree-mean"]; ok {
+			t.Fatal("Redo reported a combining degree")
+		}
+	}
+}
+
+func TestResultMetricAndRecord(t *testing.T) {
+	r := Result{Threads: 4, Ops: 1000, Mops: 2.5, PwbsPerOp: 1.5,
+		PfencesPerOp: 0.5, PsyncsPerOp: 0.25,
+		Extra: map[string]float64{"lat-p50-ns": 420}}
+	for metric, want := range map[string]float64{
+		"": 2.5, "Mops/s": 2.5, "pwbs/op": 1.5, "pfences/op": 0.5,
+		"psyncs/op": 0.25, "lat-p50-ns": 420,
+	} {
+		if v, ok := r.Metric(metric); !ok || v != want {
+			t.Fatalf("Metric(%q) = %v, %v; want %v", metric, v, ok, want)
+		}
+	}
+	if _, ok := r.Metric("no-such-metric"); ok {
+		t.Fatal("unknown metric reported ok")
+	}
+	rec := r.Record("1a")
+	if rec.Figure != "1a" || rec.Mops != 2.5 || rec.Extra["lat-p50-ns"] != 420 {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestPrintSeriesExtraMetric(t *testing.T) {
+	series := []Series{{Name: "A", Points: []Result{
+		{Threads: 1, Ops: 10, Extra: map[string]float64{"lat-p50-ns": 100}},
+		{Threads: 2, Ops: 10, Extra: map[string]float64{"lat-p50-ns": 250}},
+	}}}
+	var buf bytes.Buffer
+	PrintSeries(&buf, "T", "lat-p50-ns", series)
+	out := buf.String()
+	if !strings.Contains(out, "lat-p50-ns") || !strings.Contains(out, "250.0") {
+		t.Fatalf("Extra metric not rendered:\n%s", out)
+	}
+}
+
+func TestPrintSeriesCSVExtraColumns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Metrics = true
+	series := Fig1a(cfg)
+	var buf bytes.Buffer
+	PrintSeriesCSV(&buf, "Figure 1a: x", series)
+	out := buf.String()
+	header := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(header, "lat-p50-ns") || !strings.Contains(header, "comb-rounds_per_op") {
+		t.Fatalf("metrics columns missing from CSV header: %s", header)
+	}
+}

@@ -186,6 +186,16 @@ func New(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Ma
 	return m
 }
 
+// SetCombTracker installs combining-level instrumentation on every shard's
+// combining instance (one shared sink, so stats aggregate across shards).
+func (m *Map) SetCombTracker(t core.CombTracker) {
+	for _, sh := range m.shards {
+		if ct, ok := sh.(core.CombTrackable); ok {
+			ct.SetCombTracker(t)
+		}
+	}
+}
+
 // Shards returns the shard count.
 func (m *Map) Shards() int { return m.nsh }
 

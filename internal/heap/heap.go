@@ -184,6 +184,14 @@ func (h *Heap) Recover(tid int, op, a0, seq uint64) uint64 {
 	return h.comb.Recover(tid, op, a0, 0, seq)
 }
 
+// SetCombTracker installs combining-level instrumentation on the heap's
+// combining instance.
+func (h *Heap) SetCombTracker(t core.CombTracker) {
+	if ct, ok := h.comb.(core.CombTrackable); ok {
+		ct.SetCombTracker(t)
+	}
+}
+
 // Protocol exposes the combining instance (harness use).
 func (h *Heap) Protocol() core.Protocol { return h.comb }
 

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pcomb/internal/pmem"
+)
+
+// NamedTrace is one persistence-instruction stream to export: the merged
+// TraceEvents of one heap (one benchmark target), shown as one process in
+// the trace viewer with one track per persistence context.
+type NamedTrace struct {
+	Name   string
+	Events []pmem.TraceEvent
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events plus "M" metadata), loadable in about://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts persistence-instruction traces into the Chrome
+// trace-event JSON format. Event timestamps are the wall-clock offsets
+// recorded at trace time; durations are the simulated NVMM instruction
+// costs, so a loaded trace shows the *shape* of the persistence schedule —
+// how many instructions, how clustered, on which cache-line ranges — not
+// host-machine timing.
+func WriteChromeTrace(w io.Writer, traces []NamedTrace) error {
+	var events []chromeEvent
+	for pid, tr := range traces {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": tr.Name},
+		})
+		for _, e := range tr.Events {
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				Cat:  "pmem",
+				Ph:   "X",
+				Ts:   float64(e.TS) / 1e3,
+				Dur:  float64(e.Dur) / 1e3,
+				Pid:  pid,
+				Tid:  e.Ctx,
+			}
+			if ce.Dur <= 0 {
+				ce.Dur = 0.001 // minimum visible width
+			}
+			if e.Kind == pmem.TracePwb {
+				ce.Name = fmt.Sprintf("pwb %s", e.Region)
+				ce.Args = map[string]any{
+					"region": e.Region,
+					"lines":  fmt.Sprintf("%d-%d", e.LineLo, e.LineHi),
+					"nlines": e.LineHi - e.LineLo + 1,
+				}
+			}
+			events = append(events, ce)
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}

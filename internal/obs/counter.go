@@ -1,0 +1,38 @@
+package obs
+
+import "sync/atomic"
+
+// padCell is one cache-line-padded counter cell.
+type padCell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Counter is a per-thread-sharded monotonic counter: each thread adds to its
+// own padded cell, so the hot path is an uncontended atomic add; readers sum
+// the cells.
+type Counter struct {
+	cells []padCell
+}
+
+// NewCounter creates a counter with one cell per thread.
+func NewCounter(n int) *Counter {
+	if n <= 0 {
+		n = 1
+	}
+	return &Counter{cells: make([]padCell, n)}
+}
+
+// Add adds d to thread tid's cell.
+func (c *Counter) Add(tid int, d uint64) {
+	c.cells[tid].v.Add(d)
+}
+
+// Value sums all cells.
+func (c *Counter) Value() uint64 {
+	var s uint64
+	for i := range c.cells {
+		s += c.cells[i].v.Load()
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+)
+
+var (
+	expMu   sync.Mutex
+	expVals = map[string]func() any{}
+)
+
+// Publish registers (or replaces) a named expvar variable backed by fn. The
+// stdlib expvar package panics on re-registration, so this indirection lets
+// long-running tools refresh what a name serves between benchmark points.
+func Publish(name string, fn func() any) {
+	expMu.Lock()
+	_, existed := expVals[name]
+	expVals[name] = fn
+	expMu.Unlock()
+	if !existed {
+		expvar.Publish(name, expvar.Func(func() any {
+			expMu.Lock()
+			f := expVals[name]
+			expMu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	}
+}
+
+// Serve starts an HTTP server exposing /debug/vars (the expvar endpoint) on
+// addr in a background goroutine and returns the bound listener, so callers
+// can report the actual address when addr uses port 0.
+func Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return ln, nil
+}

@@ -1,0 +1,196 @@
+// Package obs is the repo's low-overhead observability layer. It provides
+// sharded per-thread counters and latency histograms recorded with zero
+// allocation on the hot path, combiner-level statistics (combining degree,
+// combiner-vs-helped operation counts, failed acquisitions, copy churn),
+// and structured export: per-run JSONL records and a Chrome trace-event
+// converter for pmem persistence traces.
+//
+// The paper's performance argument is that a combiner amortizes persistence
+// cost over a high combining degree with few, contiguous pwbs; this package
+// makes that mechanism directly measurable instead of inferring it from
+// aggregate throughput.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucketing: values are grouped into power-of-two octaves with
+// 2^subBits linear sub-buckets per octave (the HDR-histogram scheme), so a
+// reported quantile is within 1/2^subBits ≈ 12.5% of the true value while a
+// shard stays a fixed, allocation-free array.
+const (
+	subBits = 3
+	nSub    = 1 << subBits
+	// nBuckets covers the full uint64 range: values below nSub map to exact
+	// buckets, larger values to (octave, sub-bucket) pairs.
+	nBuckets = (64 - subBits + 1) * nSub
+)
+
+// bucketOf maps a value to its bucket index (monotone in v).
+func bucketOf(v uint64) int {
+	if v < nSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - subBits - 1
+	return exp*nSub + int(v>>uint(exp))
+}
+
+// bucketBounds returns the half-open value range [lo, hi) of bucket b.
+func bucketBounds(b int) (lo, hi uint64) {
+	if b < nSub {
+		return uint64(b), uint64(b) + 1
+	}
+	exp := uint(b/nSub - 1)
+	m := uint64(b%nSub + nSub)
+	lo = m << exp
+	return lo, lo + 1<<exp
+}
+
+// Hist is a fixed-size histogram over uint64 values (typically latencies in
+// nanoseconds, or combining degrees). All fields are updated with atomic
+// operations so a Hist may be read (merged, quantiled) while writers are
+// still recording; a single-writer Hist costs one atomic add per Record.
+type Hist struct {
+	counts [nBuckets]uint64
+	count  uint64
+	sum    uint64
+	max    uint64
+}
+
+// Record adds one value. It never allocates.
+func (h *Hist) Record(v uint64) {
+	atomic.AddUint64(&h.counts[bucketOf(v)], 1)
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, v)
+	for {
+		m := atomic.LoadUint64(&h.max)
+		if v <= m || atomic.CompareAndSwapUint64(&h.max, m, v) {
+			return
+		}
+	}
+}
+
+// Merge adds o's contents into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range o.counts {
+		if c := atomic.LoadUint64(&o.counts[i]); c != 0 {
+			atomic.AddUint64(&h.counts[i], c)
+		}
+	}
+	atomic.AddUint64(&h.count, atomic.LoadUint64(&o.count))
+	atomic.AddUint64(&h.sum, atomic.LoadUint64(&o.sum))
+	om := atomic.LoadUint64(&o.max)
+	for {
+		m := atomic.LoadUint64(&h.max)
+		if om <= m || atomic.CompareAndSwapUint64(&h.max, m, om) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return atomic.LoadUint64(&h.count) }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() uint64 { return atomic.LoadUint64(&h.max) }
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := atomic.LoadUint64(&h.count)
+	if n == 0 {
+		return 0
+	}
+	return float64(atomic.LoadUint64(&h.sum)) / float64(n)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// inside the containing bucket. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	total := atomic.LoadUint64(&h.count)
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	cum := 0.0
+	for b := 0; b < nBuckets; b++ {
+		c := float64(atomic.LoadUint64(&h.counts[b]))
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo, hi := bucketBounds(b)
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / c
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		cum += c
+	}
+	return float64(atomic.LoadUint64(&h.max))
+}
+
+// Bucket is one non-empty histogram bucket for export: Lo is the bucket's
+// inclusive lower value bound.
+type Bucket struct {
+	Lo    uint64 `json:"lo"`
+	Count uint64 `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in increasing value order.
+func (h *Hist) Buckets() []Bucket {
+	var out []Bucket
+	for b := 0; b < nBuckets; b++ {
+		if c := atomic.LoadUint64(&h.counts[b]); c != 0 {
+			lo, _ := bucketBounds(b)
+			out = append(out, Bucket{Lo: lo, Count: c})
+		}
+	}
+	return out
+}
+
+// histShard pads a Hist so neighboring shards never share the cache lines
+// holding the hot count/sum words.
+type histShard struct {
+	h Hist
+	_ [8]uint64
+}
+
+// ShardedHist is a per-thread-sharded histogram: each thread records into
+// its own shard without contention; readers merge on demand.
+type ShardedHist struct {
+	shards []histShard
+}
+
+// NewShardedHist creates a histogram with one shard per thread.
+func NewShardedHist(n int) *ShardedHist {
+	if n <= 0 {
+		n = 1
+	}
+	return &ShardedHist{shards: make([]histShard, n)}
+}
+
+// Record adds v to thread tid's shard. Zero allocation.
+func (s *ShardedHist) Record(tid int, v uint64) {
+	s.shards[tid].h.Record(v)
+}
+
+// Snapshot merges all shards into a freshly allocated Hist. Safe to call
+// while recorders are active (counters are read atomically; the snapshot is
+// then a slightly torn but internally consistent-enough view, exact once
+// recorders have stopped).
+func (s *ShardedHist) Snapshot() *Hist {
+	out := &Hist{}
+	for i := range s.shards {
+		out.Merge(&s.shards[i].h)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Now returns the runtime's monotonic clock (ns, arbitrary epoch). It is
+// the timestamp source for per-op latency measurement: it skips the
+// wall-clock half of time.Now, which roughly halves the cost of a reading
+// — the difference between ~6% and ~13% throughput overhead on the
+// all-ops-timed hot path of a sub-microsecond operation.
+//
+//go:linkname Now runtime.nanotime
+func Now() int64

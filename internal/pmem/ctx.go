@@ -1,5 +1,7 @@
 package pmem
 
+import "time"
+
 // CrashError is the panic value raised when a simulated crash fires inside a
 // persistence instruction. Harnesses recover() it and run the algorithm's
 // recovery path.
@@ -20,7 +22,8 @@ type flushRec struct {
 // durable write-backs (ModeShadow), and its crash-injection state.
 // A Ctx must not be used concurrently.
 type Ctx struct {
-	h *Heap
+	h  *Heap
+	id int // position in the heap's context list; trace track id
 
 	pwbs    uint64
 	pfences uint64
@@ -40,9 +43,14 @@ type Ctx struct {
 
 	sink uint64 // spin-cost accumulator; defeats dead-code elimination
 
-	tracing bool
-	trace   []TraceEvent
+	tracing    bool
+	trace      []TraceEvent
+	traceStart time.Time
 }
+
+// ID returns the context's index within its heap (stable track id for
+// trace export).
+func (c *Ctx) ID() int { return c.id }
 
 // Pwbs returns the number of pwb instructions issued on this context.
 func (c *Ctx) Pwbs() uint64 { return c.pwbs }
@@ -103,7 +111,12 @@ func (c *Ctx) PWB(r *Region, off, n int) {
 	}
 	c.pwbs += uint64(hi - lo + 1)
 	if c.tracing {
-		c.trace = append(c.trace, TraceEvent{Kind: TracePwb, Region: r.name, LineLo: lo, LineHi: hi})
+		c.trace = append(c.trace, TraceEvent{
+			Kind: TracePwb, Region: r.name, LineLo: lo, LineHi: hi,
+			TS:  time.Since(c.traceStart).Nanoseconds(),
+			Dur: int64(c.h.cfg.PwbNs) * int64(hi-lo+1),
+			Ctx: c.id,
+		})
 	}
 	if c.h.cfg.PwbOff {
 		return
@@ -128,7 +141,12 @@ func (c *Ctx) PFence() {
 	c.event()
 	c.pfences++
 	if c.tracing {
-		c.trace = append(c.trace, TraceEvent{Kind: TracePfence})
+		c.trace = append(c.trace, TraceEvent{
+			Kind: TracePfence,
+			TS:   time.Since(c.traceStart).Nanoseconds(),
+			Dur:  int64(c.h.cfg.PfenceNs),
+			Ctx:  c.id,
+		})
 	}
 	if c.h.cfg.Mode == ModeShadow {
 		c.drainAll()
@@ -144,7 +162,12 @@ func (c *Ctx) PSync() {
 	c.event()
 	c.psyncs++
 	if c.tracing {
-		c.trace = append(c.trace, TraceEvent{Kind: TracePsync})
+		c.trace = append(c.trace, TraceEvent{
+			Kind: TracePsync,
+			TS:   time.Since(c.traceStart).Nanoseconds(),
+			Dur:  int64(c.h.cfg.PsyncNs),
+			Ctx:  c.id,
+		})
 	}
 	if c.h.cfg.PsyncOff {
 		return

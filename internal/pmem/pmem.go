@@ -187,8 +187,8 @@ func (h *Heap) Region(name string) *Region {
 // NewCtx returns a fresh per-thread persistence context. Each simulated
 // thread must use its own Ctx; contexts are not safe for concurrent use.
 func (h *Heap) NewCtx() *Ctx {
-	c := &Ctx{h: h}
 	h.mu.Lock()
+	c := &Ctx{h: h, id: len(h.ctxs)}
 	h.ctxs = append(h.ctxs, c)
 	h.mu.Unlock()
 	return c

@@ -1,6 +1,10 @@
 package pmem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"time"
+)
 
 // TraceKind labels one traced persistence event.
 type TraceKind int
@@ -25,12 +29,19 @@ func (k TraceKind) String() string {
 }
 
 // TraceEvent is one persistence instruction as issued: for pwb, the region
-// and the inclusive cache-line range it covered.
+// and the inclusive cache-line range it covered. TS is the wall-clock
+// offset (ns) from the context's StartTrace, Dur the simulated NVMM cost of
+// the instruction (ns, from the heap's Config even under NoCost), and Ctx
+// the issuing persistence context's id — together enough to reconstruct a
+// timeline view of the persistence schedule (see obs.WriteChromeTrace).
 type TraceEvent struct {
 	Kind   TraceKind
 	Region string
 	LineLo int
 	LineHi int
+	TS     int64
+	Dur    int64
+	Ctx    int
 }
 
 func (e TraceEvent) String() string {
@@ -46,6 +57,7 @@ func (e TraceEvent) String() string {
 // StartTrace begins recording this context's persistence instructions.
 func (c *Ctx) StartTrace() {
 	c.trace = c.trace[:0]
+	c.traceStart = time.Now()
 	c.tracing = true
 }
 
@@ -101,7 +113,7 @@ func Dispersal(events []TraceEvent) Dispersion {
 		perRegion[k.region] = append(perRegion[k.region], k.line)
 	}
 	for _, ls := range perRegion {
-		sortInts(ls)
+		sort.Ints(ls)
 		for i, l := range ls {
 			if i == 0 || l != ls[i-1]+1 {
 				d.Runs++
@@ -119,8 +131,10 @@ func Dispersal(events []TraceEvent) Dispersion {
 func (h *Heap) StartTraceAll() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	start := time.Now()
 	for _, c := range h.ctxs {
 		c.trace = c.trace[:0]
+		c.traceStart = start
 		c.tracing = true
 	}
 }
@@ -138,12 +152,4 @@ func (h *Heap) StopTraceAll() []TraceEvent {
 		}
 	}
 	return out
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

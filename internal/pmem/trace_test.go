@@ -1,0 +1,116 @@
+package pmem
+
+import "testing"
+
+func TestDispersalEmpty(t *testing.T) {
+	// An empty trace (e.g. an algorithm that issued no persistence
+	// instructions) must come back all-zero, including Consecutivity — no
+	// division by a zero run count.
+	d := Dispersal(nil)
+	if d != (Dispersion{}) {
+		t.Fatalf("empty trace dispersion = %+v", d)
+	}
+	d = Dispersal([]TraceEvent{})
+	if d != (Dispersion{}) {
+		t.Fatalf("empty-slice dispersion = %+v", d)
+	}
+}
+
+func TestDispersalFencesOnly(t *testing.T) {
+	d := Dispersal([]TraceEvent{{Kind: TracePfence}, {Kind: TracePsync}, {Kind: TracePfence}})
+	if d.Fences != 2 || d.Syncs != 1 || d.Pwbs != 0 || d.Consecutivity != 0 {
+		t.Fatalf("dispersion = %+v", d)
+	}
+}
+
+func TestDispersalMultiRegionInterleaved(t *testing.T) {
+	// Interleaved pwbs to two regions: runs are counted per region, so the
+	// same line numbers in different regions are distinct lines and a
+	// contiguous range in each region stays one run regardless of
+	// interleaving order.
+	ev := []TraceEvent{
+		{Kind: TracePwb, Region: "a", LineLo: 0, LineHi: 0},
+		{Kind: TracePwb, Region: "b", LineLo: 0, LineHi: 0},
+		{Kind: TracePwb, Region: "a", LineLo: 1, LineHi: 2},
+		{Kind: TracePwb, Region: "b", LineLo: 1, LineHi: 1},
+		{Kind: TracePwb, Region: "a", LineLo: 7, LineHi: 7}, // separate run in a
+	}
+	d := Dispersal(ev)
+	if d.Pwbs != 5 || d.Regions != 2 {
+		t.Fatalf("pwbs=%d regions=%d", d.Pwbs, d.Regions)
+	}
+	if d.Lines != 6 { // a:{0,1,2,7}, b:{0,1}
+		t.Fatalf("lines = %d, want 6", d.Lines)
+	}
+	if d.Runs != 3 { // a:[0-2],[7]; b:[0-1]
+		t.Fatalf("runs = %d, want 3", d.Runs)
+	}
+	if d.Consecutivity != 2.0 {
+		t.Fatalf("consecutivity = %.2f, want 2.0", d.Consecutivity)
+	}
+}
+
+func TestTraceTimelineFields(t *testing.T) {
+	// Traced events must carry a timeline: non-decreasing per-context TS,
+	// the issuing context id, and the simulated instruction cost as Dur —
+	// even under NoCost (Dur reports the configured cost model, not real
+	// spin time).
+	h := NewHeap(Config{Mode: ModeCount, NoCost: true, PwbNs: 200, PfenceNs: 30, PsyncNs: 400})
+	r := h.Alloc("a", 64)
+	c1, c2 := h.NewCtx(), h.NewCtx()
+	h.StartTraceAll()
+	c1.PWB(r, 0, 1)
+	c1.PFence()
+	c2.PWB(r, 0, 2*LineWords) // two lines
+	c2.PSync()
+	ev := h.StopTraceAll()
+	if len(ev) != 4 {
+		t.Fatalf("%d events", len(ev))
+	}
+	byCtx := map[int][]TraceEvent{}
+	for _, e := range ev {
+		byCtx[e.Ctx] = append(byCtx[e.Ctx], e)
+	}
+	if len(byCtx) != 2 {
+		t.Fatalf("events from %d contexts, want 2", len(byCtx))
+	}
+	for ctx, evs := range byCtx {
+		for i, e := range evs {
+			if e.TS < 0 {
+				t.Fatalf("ctx %d event %d: negative TS", ctx, i)
+			}
+			if i > 0 && e.TS < evs[i-1].TS {
+				t.Fatalf("ctx %d: TS went backwards", ctx)
+			}
+		}
+	}
+	costs := map[TraceKind]int64{}
+	for _, e := range ev {
+		if e.Kind == TracePwb && e.LineHi > e.LineLo {
+			if e.Dur != 400 { // 2 lines x PwbNs
+				t.Fatalf("2-line pwb Dur = %d, want 400", e.Dur)
+			}
+			continue
+		}
+		costs[e.Kind] = e.Dur
+	}
+	if costs[TracePwb] != 200 || costs[TracePfence] != 30 || costs[TracePsync] != 400 {
+		t.Fatalf("instruction costs = %v", costs)
+	}
+}
+
+func TestUntracedEventsNotRecorded(t *testing.T) {
+	h := NewHeap(Config{Mode: ModeCount, NoCost: true})
+	r := h.Alloc("a", 8)
+	c := h.NewCtx()
+	c.PWB(r, 0, 1) // before StartTrace: must not appear
+	c.StartTrace()
+	c.PWB(r, 0, 1)
+	ev := c.StopTrace()
+	if len(ev) != 1 {
+		t.Fatalf("%d events, want 1", len(ev))
+	}
+	if more := c.StopTrace(); more != nil {
+		t.Fatalf("second StopTrace returned %d events", len(more))
+	}
+}

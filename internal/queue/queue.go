@@ -188,6 +188,18 @@ func (q *Queue) RecoverDequeue(tid int, seq uint64) (uint64, bool) {
 	return r, true
 }
 
+// SetCombTracker installs combining-level instrumentation on both the
+// enqueue and dequeue combining instances (they share one sink, so reported
+// rounds/degrees cover the whole queue).
+func (q *Queue) SetCombTracker(t core.CombTracker) {
+	if ct, ok := q.enq.(core.CombTrackable); ok {
+		ct.SetCombTracker(t)
+	}
+	if ct, ok := q.deq.(core.CombTrackable); ok {
+		ct.SetCombTracker(t)
+	}
+}
+
 // EnqProtocol and DeqProtocol expose the combining instances (harness use).
 func (q *Queue) EnqProtocol() core.Protocol { return q.enq }
 

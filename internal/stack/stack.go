@@ -260,6 +260,14 @@ func (s *Stack) Recover(tid int, op, a0, seq uint64) uint64 {
 	return s.comb.Recover(tid, op, a0, 0, seq)
 }
 
+// SetCombTracker installs combining-level instrumentation on the stack's
+// combining instance.
+func (s *Stack) SetCombTracker(t core.CombTracker) {
+	if ct, ok := s.comb.(core.CombTrackable); ok {
+		ct.SetCombTracker(t)
+	}
+}
+
 // Protocol exposes the underlying combining instance (harness use).
 func (s *Stack) Protocol() core.Protocol { return s.comb }
 
