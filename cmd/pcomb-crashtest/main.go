@@ -1,108 +1,221 @@
-// pcomb-crashtest fuzzes the recoverable structures with simulated
+// pcomb-crashtest subjects the recoverable structures to simulated
 // mid-execution crashes and verifies detectable recoverability (see
-// internal/crashtest). A silent exit code 0 means every seed passed.
+// internal/crashtest). A silent exit code 0 means every campaign passed.
 //
-// Usage:
+// Two modes:
 //
-//	pcomb-crashtest -seeds 50 -threads 8 -ops 2000 -rounds 4
+//   - fuzz (default): seeded sampling campaigns — each round crashes at a
+//     seeded global persistence-event index under a seeded adversary.
+//   - enumerate: ALICE-style systematic exploration — record one run's
+//     persistence-event trace, then replay it once per event index,
+//     crashing exactly there (bounded by -budget).
+//
+// Adversaries are opt-in: -torn adds the torn-line policy (partial cache
+// lines persist), -corrupt injects manifest corruption every round and
+// requires typed detection; -double (on by default) fires second crashes
+// while recovery itself is replaying.
+//
+// Any failure is shrunk to a minimal schedule and printed on stderr as a
+// one-line reproducer; re-execute it with:
+//
+//	pcomb-crashtest -target <name> -replay seed:round:point:policy
+//
+// Exit codes: 0 all passed, 1 a violation was found, 2 the -deadline hard
+// cap fired before campaigns finished.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"pcomb/internal/crashtest"
 	"pcomb/internal/hashmap"
 	"pcomb/internal/heap"
+	"pcomb/internal/obs"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
 )
 
+type target struct {
+	name string
+	mk   func(threads int) func(seed int64) crashtest.Driver
+}
+
+func targets() []target {
+	qbOpt := queue.Options{Recycling: true, Capacity: 1 << 20}
+	qwOpt := queue.Options{Capacity: 1 << 20}
+	sOpt := stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 20}
+	return []target{
+		{"counter/PBcomb", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewCounterDriver(false, n, s) }
+		}},
+		{"counter/PWFcomb", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewCounterDriver(true, n, s) }
+		}},
+		{"queue/PBqueue", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewQueueDriver(queue.Blocking, qbOpt, n, s) }
+		}},
+		{"queue/PWFqueue", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewQueueDriver(queue.WaitFree, qwOpt, n, s) }
+		}},
+		{"stack/PBstack", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewStackDriver(stack.Blocking, sOpt, n, s) }
+		}},
+		{"stack/PWFstack", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewStackDriver(stack.WaitFree, sOpt, n, s) }
+		}},
+		{"map/PBmap", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewMapDriver(hashmap.Blocking, 8, n, s) }
+		}},
+		{"map/PWFmap", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewMapDriver(hashmap.WaitFree, 8, n, s) }
+		}},
+		{"heap/PBheap", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewHeapDriver(heap.Blocking, 1024, n, s) }
+		}},
+		{"heap/PWFheap", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewHeapDriver(heap.WaitFree, 1024, n, s) }
+		}},
+	}
+}
+
+// wantTarget matches -target against a full target name ("queue/PBqueue"),
+// its structure group ("queue"), or "all".
+func wantTarget(sel, name string) bool {
+	return sel == "all" || sel == name || sel == strings.SplitN(name, "/", 2)[0]
+}
+
 func main() {
 	var (
-		seeds   = flag.Int("seeds", 20, "random seeds per target")
-		threads = flag.Int("threads", 8, "worker goroutines")
-		ops     = flag.Int("ops", 1000, "operation budget per thread per round")
-		rounds  = flag.Int("rounds", 3, "crash rounds per seed")
-		target  = flag.String("target", "all", "target: counter queue stack heap map all")
+		mode     = flag.String("mode", "fuzz", "engine: fuzz (seeded sampling) or enumerate (every crash point)")
+		seeds    = flag.Int("seeds", 20, "seeds per target (campaigns in fuzz mode, runs in enumerate mode)")
+		threads  = flag.Int("threads", 8, "worker goroutines")
+		ops      = flag.Int("ops", 1000, "operation budget per thread per round")
+		rounds   = flag.Int("rounds", 3, "crash rounds per seed (fuzz mode)")
+		tgt      = flag.String("target", "all", "target: a structure (counter queue stack heap map), a full name like queue/PBqueue, or all")
+		torn     = flag.Bool("torn", false, "add the torn-line adversary (partial cache lines persist)")
+		corrupt  = flag.Bool("corrupt", false, "inject manifest corruption every round and require detection")
+		double   = flag.Bool("double", true, "fire second crashes while recovery is replaying")
+		budget   = flag.Int("budget", 0, "enumerate: max crash points per run (0 = all)")
+		replay   = flag.String("replay", "", "re-execute one failing schedule (seed:round:point:policy; needs a single -target)")
+		deadline = flag.Duration("deadline", 0, "wall-clock cap; exceeds -> truncate, hard-exit 2 shortly after")
 	)
 	flag.Parse()
 
-	failed := false
-	report := func(name string, rep crashtest.Report, err error) {
-		if err != nil {
-			failed = true
-			fmt.Fprintf(os.Stderr, "FAIL %-16s %v\n", name, err)
-			return
+	// Enumerate is exhaustive per event index, so its sensible defaults are
+	// much smaller than fuzz; only override what the user did not set.
+	if *mode == "enumerate" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["seeds"] {
+			*seeds = 2
 		}
-		fmt.Printf("ok   %-16s %s\n", name, rep)
+		if !set["threads"] {
+			*threads = 2
+		}
+		if !set["ops"] {
+			*ops = 25
+		}
+	} else if *mode != "fuzz" {
+		fmt.Fprintf(os.Stderr, "pcomb-crashtest: unknown -mode %q\n", *mode)
+		os.Exit(1)
 	}
 
-	run := func(name string, f func(seed int64) (crashtest.Report, error)) {
+	var stats obs.FaultStats
+	baseCfg := crashtest.Config{
+		Threads: *threads, Ops: *ops, Rounds: *rounds,
+		Torn: *torn, Corrupt: *corrupt, DoubleCrash: *double,
+		Budget: *budget, Faults: &stats,
+	}
+	if *deadline > 0 {
+		baseCfg.Deadline = time.Now().Add(*deadline)
+		// Hard backstop so a wedged campaign cannot hang CI: the soft
+		// deadline truncates cooperatively; if that fails, exit 2.
+		time.AfterFunc(*deadline+30*time.Second, func() {
+			fmt.Fprintf(os.Stderr, "pcomb-crashtest: hard deadline exceeded (%v + 30s grace)\n", *deadline)
+			os.Exit(2)
+		})
+	}
+
+	selected := make([]target, 0, 10)
+	for _, t := range targets() {
+		if wantTarget(*tgt, t.name) {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "pcomb-crashtest: no target matches %q\n", *tgt)
+		os.Exit(1)
+	}
+
+	if *replay != "" {
+		if len(selected) != 1 {
+			fmt.Fprintf(os.Stderr, "pcomb-crashtest: -replay needs a single -target (got %d matches for %q)\n",
+				len(selected), *tgt)
+			os.Exit(1)
+		}
+		spec, err := crashtest.ParseToken(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		t := selected[0]
+		if err := crashtest.Replay(t.mk(*threads), baseCfg, spec); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %-16s reproduced: %v\n", t.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok   %-16s replay %s did not fail\n", t.name, spec.Token())
+		return
+	}
+
+	failed := false
+	for _, t := range selected {
+		mk := t.mk(*threads)
 		var total crashtest.Report
+		var firstFail *crashtest.Failure
 		for s := int64(1); s <= int64(*seeds); s++ {
-			rep, err := f(s)
-			total.Seeds += rep.Seeds
-			total.Crashes += rep.Crashes
-			total.Recovered += rep.Recovered
-			total.OpsApplied += rep.OpsApplied
-			if err != nil {
-				report(name, total, err)
-				return
+			cfg := baseCfg
+			cfg.Seed = s
+			var rep crashtest.Report
+			var f *crashtest.Failure
+			if *mode == "enumerate" {
+				rep, f = crashtest.Enumerate(mk, cfg)
+			} else {
+				rep, f = crashtest.Fuzz(mk, cfg)
+			}
+			total.Merge(rep)
+			if f != nil {
+				firstFail = f
+				break
+			}
+			if rep.Truncated {
+				break
 			}
 		}
-		report(name, total, nil)
+		if firstFail != nil {
+			failed = true
+			spec := crashtest.Shrink(mk, baseCfg, *firstFail)
+			fmt.Fprintf(os.Stderr, "FAIL %-16s %v\n", t.name, firstFail.Err)
+			fmt.Fprintf(os.Stderr, "     reproduce: pcomb-crashtest -target %s -threads %d -ops %d%s%s -replay %s\n",
+				t.name, *threads, *ops,
+				boolFlag(" -torn", *torn), boolFlag(" -corrupt", *corrupt), spec.Token())
+			continue
+		}
+		fmt.Printf("ok   %-16s %s\n", t.name, total)
 	}
-
-	want := func(name string) bool { return *target == "all" || *target == name }
-
-	if want("counter") {
-		run("counter/PBcomb", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzCounter(false, *threads, *ops, *rounds, s)
-		})
-		run("counter/PWFcomb", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzCounter(true, *threads, *ops, *rounds, s)
-		})
-	}
-	if want("queue") {
-		run("queue/PBqueue", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzQueue(queue.Blocking,
-				queue.Options{Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
-		})
-		run("queue/PWFqueue", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzQueue(queue.WaitFree,
-				queue.Options{Capacity: 1 << 20}, *threads, *ops, *rounds, s)
-		})
-	}
-	if want("stack") {
-		run("stack/PBstack", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzStack(stack.Blocking,
-				stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
-		})
-		run("stack/PWFstack", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzStack(stack.WaitFree,
-				stack.Options{Elimination: true, Recycling: true, Capacity: 1 << 20}, *threads, *ops, *rounds, s)
-		})
-	}
-	if want("map") {
-		run("map/PBmap", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzMap(hashmap.Blocking, 8, *threads, *ops, *rounds, s)
-		})
-		run("map/PWFmap", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzMap(hashmap.WaitFree, 8, *threads, *ops, *rounds, s)
-		})
-	}
-	if want("heap") {
-		run("heap/PBheap", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzHeap(heap.Blocking, 1024, *threads, *ops, *rounds, s)
-		})
-		run("heap/PWFheap", func(s int64) (crashtest.Report, error) {
-			return crashtest.FuzzHeap(heap.WaitFree, 1024, *threads, *ops, *rounds, s)
-		})
-	}
+	fmt.Printf("faults: %s\n", stats.String())
 
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func boolFlag(s string, on bool) string {
+	if on {
+		return s
+	}
+	return ""
 }

@@ -1,10 +1,5 @@
-// Package crashtest fuzzes the recoverable data structures with
-// mid-execution crashes: worker goroutines issue random operations while a
-// controller triggers a simulated system crash at a random moment; every
-// worker unwinds, the heap's durable shadow becomes the new truth under a
-// random legal adversary, the structure is re-opened, each interrupted
-// operation is recovered with its original arguments and sequence number,
-// and the checkers verify detectable recoverability:
+// Package crashtest subjects the recoverable data structures to simulated
+// mid-execution crashes and verifies detectable recoverability:
 //
 //   - every operation that completed before the crash keeps its effect and
 //     response (durability);
@@ -14,55 +9,157 @@
 //   - structure-specific invariants hold (value multisets, FIFO/LIFO
 //     residue order, the heap property, counter totals).
 //
+// Two engines share one driver abstraction (Driver):
+//
+//   - Fuzz samples crash schedules: each round crashes at a seeded,
+//     log-uniformly drawn global persistence-event index under a seeded
+//     adversary (drop-unfenced / apply-all / random-cut / torn-line), so a
+//     whole campaign is reproducible from its seed alone.
+//   - Enumerate is systematic (ALICE-style): it records one run's
+//     persistence-event trace, then replays the run once per event index,
+//     crashing exactly there — exhaustive crash-point coverage, bounded by
+//     an optional budget.
+//
+// Both engines optionally trigger a second crash while the recovery
+// functions themselves are replaying (proving recovery idempotence), and
+// inject corruption into the heap's durable region manifest (which must be
+// detected as pmem.ErrCorruptManifest, never served as garbage). Any
+// failing schedule is shrunk to a minimal reproducer and printed as a
+// one-line seed:round:point:policy token that Replay re-executes.
+//
 // The package is both a test library and the engine of cmd/pcomb-crashtest.
 package crashtest
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 )
 
-// Report summarizes one fuzzing campaign.
+// Driver abstracts one structure/protocol target for the crash engines. A
+// driver owns the structure under test, the per-thread operation
+// bookkeeping, and the model (oracle) state accumulated across rounds.
+type Driver interface {
+	// Name identifies the target (e.g. "queue/PBqueue").
+	Name() string
+	// Open creates or re-opens the structure on h, rebuilding all volatile
+	// state — called once at campaign start and again after every crash
+	// (it may issue persistence events and thus crash again).
+	Open(h *pmem.Heap)
+	// BeginRound resets the per-round bookkeeping (pending-op records,
+	// per-thread rngs) for the given round index.
+	BeginRound(round int)
+	// Step runs thread tid's i-th operation of the round. It panics with
+	// pmem.CrashError when the heap crashes mid-operation.
+	Step(tid, i int)
+	// Recover folds the round's completed operations into the model
+	// (exactly once) and resolves every interrupted operation through the
+	// structure's recovery functions. It must be restartable: if a second
+	// crash unwinds it (panic with pmem.CrashError), calling it again
+	// after Open must finish the job without double-counting. It returns
+	// how many interrupted operations it newly resolved.
+	Recover() (recovered int, err error)
+	// Check verifies the structure's durable state against the model.
+	Check() error
+}
+
+// Report summarizes one crash-testing campaign.
 type Report struct {
 	Seeds      int
 	Crashes    int
 	Recovered  int // interrupted operations resolved via recovery functions
 	OpsApplied uint64
+	Points     int   // crash points explored (enumerate)
+	Doubles    int   // nested crash-during-recovery rounds survived
+	TornLines  int   // cache lines the adversary persisted partially
+	Events     int64 // persistence events observed (enumerate record run)
+	Truncated  bool  // a budget or deadline cut exploration short
 }
 
 func (r Report) String() string {
-	return fmt.Sprintf("seeds=%d crashes=%d recovered-ops=%d ops=%d",
+	s := fmt.Sprintf("seeds=%d crashes=%d recovered-ops=%d ops=%d",
 		r.Seeds, r.Crashes, r.Recovered, r.OpsApplied)
-}
-
-// policyFor picks a crash adversary for a round.
-func policyFor(rng *rand.Rand) pmem.CrashPolicy {
-	switch rng.Intn(3) {
-	case 0:
-		return pmem.DropUnfenced
-	case 1:
-		return pmem.ApplyAll
-	default:
-		return pmem.RandomCut
+	if r.Points > 0 {
+		s += fmt.Sprintf(" points=%d", r.Points)
 	}
+	if r.Doubles > 0 {
+		s += fmt.Sprintf(" double-crashes=%d", r.Doubles)
+	}
+	if r.TornLines > 0 {
+		s += fmt.Sprintf(" torn-lines=%d", r.TornLines)
+	}
+	if r.Truncated {
+		s += " (truncated)"
+	}
+	return s
 }
 
-// runRound drives n workers issuing ops until the controller crashes the
-// heap (or every worker finishes its budget). invoke performs the i-th op
-// of a thread; it must panic with pmem.CrashError once the heap has crashed
-// (the persistence layer and the protocols' spin loops guarantee this).
-// Structure-specific drivers record in-flight bookkeeping inside invoke.
-func runRound(h *pmem.Heap, n, opsPerThread int, rng *rand.Rand, invoke func(tid, i int)) {
+func (r *Report) merge(o Report) {
+	r.Seeds += o.Seeds
+	r.Crashes += o.Crashes
+	r.Recovered += o.Recovered
+	r.OpsApplied += o.OpsApplied
+	r.Points += o.Points
+	r.Doubles += o.Doubles
+	r.TornLines += o.TornLines
+	r.Events += o.Events
+	r.Truncated = r.Truncated || o.Truncated
+}
+
+// Merge adds another report's counters into r (CLI aggregation).
+func (r *Report) Merge(o Report) { r.merge(o) }
+
+// Config parameterizes a campaign. The zero value is not usable; fill in
+// Threads, Ops, Rounds and Seed at least.
+type Config struct {
+	Threads int   // worker goroutines
+	Ops     int   // operation budget per thread per round
+	Rounds  int   // crash rounds per campaign (fuzz mode)
+	Seed    int64 // campaign seed; the entire schedule derives from it
+
+	Torn        bool // include the torn-line adversary in the policy pool
+	Corrupt     bool // inject manifest corruption each round and require detection
+	DoubleCrash bool // trigger second crashes while recovery replays
+
+	Budget   int       // enumerate: max crash points per campaign (0 = all)
+	Deadline time.Time // stop starting new work past this instant (zero = none)
+	Retries  int       // confirmation replays per shrink candidate (default 2)
+
+	Faults *obs.FaultStats // optional shared fault-injection counters
+}
+
+func (cfg Config) policies() []pmem.CrashPolicy {
+	p := []pmem.CrashPolicy{pmem.DropUnfenced, pmem.ApplyAll, pmem.RandomCut}
+	if cfg.Torn {
+		p = append(p, pmem.TornLine)
+	}
+	return p
+}
+
+func (cfg Config) expired() bool {
+	return !cfg.Deadline.IsZero() && time.Now().After(cfg.Deadline)
+}
+
+// newShadowHeap creates the simulated NVMM device a campaign runs on.
+func newShadowHeap() *pmem.Heap {
+	return pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+}
+
+// runOps drives `threads` workers, each issuing up to `ops` operations; a
+// worker stops early when the heap crashes under it (step panics with
+// pmem.CrashError). The crash instant itself is scheduled by the caller
+// through h.SetCrashAtEvent — there is no wall-clock dependence, so a
+// round's crash point is reproducible from the campaign seed.
+func runOps(threads, ops int, step func(tid, i int)) {
 	var wg sync.WaitGroup
-	for tid := 0; tid < n; tid++ {
+	for tid := 0; tid < threads; tid++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			for i := 0; i < opsPerThread; i++ {
+			for i := 0; i < ops; i++ {
 				crashed := false
 				func() {
 					defer func() {
@@ -73,7 +170,7 @@ func runRound(h *pmem.Heap, n, opsPerThread int, rng *rand.Rand, invoke func(tid
 							crashed = true
 						}
 					}()
-					invoke(tid, i)
+					step(tid, i)
 				}()
 				if crashed {
 					return
@@ -81,15 +178,5 @@ func runRound(h *pmem.Heap, n, opsPerThread int, rng *rand.Rand, invoke func(tid
 			}
 		}(tid)
 	}
-	done := make(chan struct{})
-	go func() {
-		d := time.Duration(rng.Intn(2000)+100) * time.Microsecond
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		<-timer.C
-		h.TriggerCrash()
-		close(done)
-	}()
 	wg.Wait()
-	<-done
 }

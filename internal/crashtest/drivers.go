@@ -3,7 +3,6 @@ package crashtest
 import (
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	"pcomb/internal/core"
 	"pcomb/internal/heap"
@@ -23,336 +22,524 @@ type pendingOp struct {
 	_      [4]uint64
 }
 
-// FuzzQueue runs `rounds` crash rounds against one queue instance and
-// verifies detectable recoverability. Each value is unique, so the checker
-// can account for every operation exactly once.
-func FuzzQueue(kind queue.Kind, opt queue.Options, n, opsPerThread, rounds int, seed int64) (Report, error) {
-	rng := rand.New(rand.NewSource(seed))
-	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
-	q := queue.New(h, "fq", n, kind, opt)
+// counterDriver targets a fetch&add counter on either protocol: every
+// resolved increment returns a distinct previous value, and the durable
+// total equals the number of resolved operations.
+type counterDriver struct {
+	waitFree bool
+	n        int
 
-	var rep Report
-	rep.Seeds = 1
-	eseq := make([]uint64, n)
-	dseq := make([]uint64, n)
-	enqueued := map[uint64]bool{}
-	consumed := map[uint64]bool{}
+	c core.Protocol
 
-	for round := 0; round < rounds; round++ {
-		pend := make([]pendingOp, n)
-		localEnq := make([][]uint64, n)
-		localCon := make([][]uint64, n)
-		tRngs := make([]*rand.Rand, n)
-		for i := range tRngs {
-			tRngs[i] = rand.New(rand.NewSource(seed*1000 + int64(round*n+i)))
-		}
-		runRound(h, n, opsPerThread, rng, func(tid, i int) {
-			r := tRngs[tid]
-			if r.Intn(2) == 0 {
-				v := uint64(round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
-				eseq[tid]++
-				pend[tid] = pendingOp{active: true, op: queue.OpEnq, a0: v, seq: eseq[tid]}
-				q.Enqueue(tid, v, eseq[tid])
-				localEnq[tid] = append(localEnq[tid], v)
-				pend[tid].active = false
-			} else {
-				dseq[tid]++
-				pend[tid] = pendingOp{active: true, op: queue.OpDeq, seq: dseq[tid]}
-				if v, ok := q.Dequeue(tid, dseq[tid]); ok {
-					localCon[tid] = append(localCon[tid], v)
-				}
-				pend[tid].active = false
-			}
-			rep.addOp()
-		})
-		rep.Crashes++
-		h.FinishCrash(policyFor(rng), seed+int64(round))
-		q = queue.New(h, "fq", n, kind, opt)
+	seq   []uint64
+	rets  map[uint64]bool
+	total uint64
 
-		for tid := 0; tid < n; tid++ {
-			for _, v := range localEnq[tid] {
-				enqueued[v] = true
-			}
-			for _, v := range localCon[tid] {
-				if consumed[v] {
-					return rep, fmt.Errorf("round %d: value %x consumed twice", round, v)
+	pend      []pendingOp
+	localRets [][]uint64
+	resolved  []bool
+	folded    bool
+	recovered int
+}
+
+// NewCounterDriver builds a counter target (PBcomb when waitFree is false,
+// PWFcomb otherwise) for n threads.
+func NewCounterDriver(waitFree bool, n int, seed int64) Driver {
+	_ = seed // the counter's schedule is seq-deterministic; no per-thread rngs
+	return &counterDriver{
+		waitFree: waitFree,
+		n:        n,
+		seq:      make([]uint64, n),
+		rets:     map[uint64]bool{},
+	}
+}
+
+func (d *counterDriver) Name() string {
+	if d.waitFree {
+		return "counter/PWFcomb"
+	}
+	return "counter/PBcomb"
+}
+
+func (d *counterDriver) Open(h *pmem.Heap) {
+	if d.waitFree {
+		d.c = core.NewPWFComb(h, "fc", d.n, core.Counter{})
+	} else {
+		d.c = core.NewPBComb(h, "fc", d.n, core.Counter{})
+	}
+}
+
+func (d *counterDriver) BeginRound(round int) {
+	d.pend = make([]pendingOp, d.n)
+	d.localRets = make([][]uint64, d.n)
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *counterDriver) Step(tid, i int) {
+	d.seq[tid]++
+	d.pend[tid] = pendingOp{active: true, op: core.OpCounterAdd, a0: 1, seq: d.seq[tid]}
+	r := d.c.Invoke(tid, core.OpCounterAdd, 1, 0, d.seq[tid])
+	d.localRets[tid] = append(d.localRets[tid], r)
+	d.pend[tid].active = false
+}
+
+func (d *counterDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, r := range d.localRets[tid] {
+				if d.rets[r] {
+					return d.recovered, fmt.Errorf("duplicate return %d", r)
 				}
-				consumed[v] = true
+				d.rets[r] = true
+				d.total++
 			}
-			if pend[tid].active {
-				rep.Recovered++
-				if pend[tid].op == queue.OpEnq {
-					q.RecoverEnqueue(tid, pend[tid].a0, pend[tid].seq)
-					enqueued[pend[tid].a0] = true
-				} else {
-					if v, ok := q.RecoverDequeue(tid, pend[tid].seq); ok {
-						if consumed[v] {
-							return rep, fmt.Errorf("round %d: recovered dequeue re-consumed %x", round, v)
-						}
-						consumed[v] = true
-					}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pend[tid].active || d.resolved[tid] {
+			continue
+		}
+		r := d.c.Recover(tid, core.OpCounterAdd, 1, 0, d.pend[tid].seq)
+		d.resolved[tid] = true
+		d.recovered++
+		if d.rets[r] {
+			return d.recovered, fmt.Errorf("recovered op duplicated return %d", r)
+		}
+		d.rets[r] = true
+		d.total++
+	}
+	return d.recovered, nil
+}
+
+func (d *counterDriver) Check() error {
+	if got := d.c.CurrentState().Load(0); got != d.total {
+		return fmt.Errorf("counter = %d, resolved ops = %d", got, d.total)
+	}
+	return nil
+}
+
+// queueDriver targets PBqueue/PWFqueue: every value is unique, so the
+// checker accounts for every operation exactly once (no lost or duplicated
+// enqueues/dequeues, conserved residue).
+type queueDriver struct {
+	kind queue.Kind
+	opt  queue.Options
+	n    int
+	seed int64
+
+	q *queue.Queue
+
+	eseq, dseq         []uint64
+	enqueued, consumed map[uint64]bool
+
+	round              int
+	pend               []pendingOp
+	localEnq, localCon [][]uint64
+	tRngs              []*rand.Rand
+	resolved           []bool
+	folded             bool
+	recovered          int
+}
+
+// NewQueueDriver builds a queue target for n threads.
+func NewQueueDriver(kind queue.Kind, opt queue.Options, n int, seed int64) Driver {
+	return &queueDriver{
+		kind: kind, opt: opt, n: n, seed: seed,
+		eseq: make([]uint64, n), dseq: make([]uint64, n),
+		enqueued: map[uint64]bool{}, consumed: map[uint64]bool{},
+	}
+}
+
+func (d *queueDriver) Name() string {
+	if d.kind == queue.WaitFree {
+		return "queue/PWFqueue"
+	}
+	return "queue/PBqueue"
+}
+
+func (d *queueDriver) Open(h *pmem.Heap) { d.q = queue.New(h, "fq", d.n, d.kind, d.opt) }
+
+func (d *queueDriver) BeginRound(round int) {
+	d.round = round
+	d.pend = make([]pendingOp, d.n)
+	d.localEnq = make([][]uint64, d.n)
+	d.localCon = make([][]uint64, d.n)
+	d.tRngs = make([]*rand.Rand, d.n)
+	for i := range d.tRngs {
+		d.tRngs[i] = rand.New(rand.NewSource(d.seed*1000 + int64(round*d.n+i)))
+	}
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *queueDriver) Step(tid, i int) {
+	r := d.tRngs[tid]
+	if r.Intn(2) == 0 {
+		v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
+		d.eseq[tid]++
+		d.pend[tid] = pendingOp{active: true, op: queue.OpEnq, a0: v, seq: d.eseq[tid]}
+		d.q.Enqueue(tid, v, d.eseq[tid])
+		d.localEnq[tid] = append(d.localEnq[tid], v)
+		d.pend[tid].active = false
+	} else {
+		d.dseq[tid]++
+		d.pend[tid] = pendingOp{active: true, op: queue.OpDeq, seq: d.dseq[tid]}
+		if v, ok := d.q.Dequeue(tid, d.dseq[tid]); ok {
+			d.localCon[tid] = append(d.localCon[tid], v)
+		}
+		d.pend[tid].active = false
+	}
+}
+
+func (d *queueDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, v := range d.localEnq[tid] {
+				d.enqueued[v] = true
+			}
+			for _, v := range d.localCon[tid] {
+				if d.consumed[v] {
+					return d.recovered, fmt.Errorf("value %x consumed twice", v)
 				}
+				d.consumed[v] = true
 			}
 		}
-		// Conservation and sanity of the durable residue.
-		residue := q.Snapshot()
-		seen := map[uint64]bool{}
-		for _, v := range residue {
-			if !enqueued[v] {
-				return rep, fmt.Errorf("round %d: phantom residue value %x", round, v)
-			}
-			if consumed[v] {
-				return rep, fmt.Errorf("round %d: consumed value %x still in queue", round, v)
-			}
-			if seen[v] {
-				return rep, fmt.Errorf("round %d: duplicate residue value %x", round, v)
-			}
-			seen[v] = true
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pend[tid].active || d.resolved[tid] {
+			continue
 		}
-		for v := range consumed {
-			if !enqueued[v] {
-				return rep, fmt.Errorf("round %d: consumed never-enqueued value %x", round, v)
-			}
-		}
-		for v := range enqueued {
-			if !consumed[v] && !seen[v] {
-				return rep, fmt.Errorf("round %d: enqueued value %x lost", round, v)
+		if d.pend[tid].op == queue.OpEnq {
+			d.q.RecoverEnqueue(tid, d.pend[tid].a0, d.pend[tid].seq)
+			d.resolved[tid] = true
+			d.recovered++
+			d.enqueued[d.pend[tid].a0] = true
+		} else {
+			v, ok := d.q.RecoverDequeue(tid, d.pend[tid].seq)
+			d.resolved[tid] = true
+			d.recovered++
+			if ok {
+				if d.consumed[v] {
+					return d.recovered, fmt.Errorf("recovered dequeue re-consumed %x", v)
+				}
+				d.consumed[v] = true
 			}
 		}
 	}
-	return rep, nil
+	return d.recovered, nil
+}
+
+func (d *queueDriver) Check() error {
+	residue := d.q.Snapshot()
+	seen := map[uint64]bool{}
+	for _, v := range residue {
+		if !d.enqueued[v] {
+			return fmt.Errorf("phantom residue value %x", v)
+		}
+		if d.consumed[v] {
+			return fmt.Errorf("consumed value %x still in queue", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("duplicate residue value %x", v)
+		}
+		seen[v] = true
+	}
+	for v := range d.consumed {
+		if !d.enqueued[v] {
+			return fmt.Errorf("consumed never-enqueued value %x", v)
+		}
+	}
+	for v := range d.enqueued {
+		if !d.consumed[v] && !seen[v] {
+			return fmt.Errorf("enqueued value %x lost", v)
+		}
+	}
+	return nil
+}
+
+// stackDriver is the LIFO analogue of queueDriver.
+type stackDriver struct {
+	kind stack.Kind
+	opt  stack.Options
+	n    int
+	seed int64
+
+	s *stack.Stack
+
+	seq            []uint64
+	pushed, popped map[uint64]bool
+
+	round               int
+	pend                []pendingOp
+	localPush, localPop [][]uint64
+	tRngs               []*rand.Rand
+	resolved            []bool
+	folded              bool
+	recovered           int
+}
+
+// NewStackDriver builds a stack target for n threads.
+func NewStackDriver(kind stack.Kind, opt stack.Options, n int, seed int64) Driver {
+	return &stackDriver{
+		kind: kind, opt: opt, n: n, seed: seed,
+		seq:    make([]uint64, n),
+		pushed: map[uint64]bool{}, popped: map[uint64]bool{},
+	}
+}
+
+func (d *stackDriver) Name() string {
+	if d.kind == stack.WaitFree {
+		return "stack/PWFstack"
+	}
+	return "stack/PBstack"
+}
+
+func (d *stackDriver) Open(h *pmem.Heap) { d.s = stack.New(h, "fs", d.n, d.kind, d.opt) }
+
+func (d *stackDriver) BeginRound(round int) {
+	d.round = round
+	d.pend = make([]pendingOp, d.n)
+	d.localPush = make([][]uint64, d.n)
+	d.localPop = make([][]uint64, d.n)
+	d.tRngs = make([]*rand.Rand, d.n)
+	for i := range d.tRngs {
+		d.tRngs[i] = rand.New(rand.NewSource(d.seed*3000 + int64(round*d.n+i)))
+	}
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *stackDriver) Step(tid, i int) {
+	r := d.tRngs[tid]
+	d.seq[tid]++
+	if r.Intn(2) == 0 {
+		v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
+		d.pend[tid] = pendingOp{active: true, op: stack.OpPush, a0: v, seq: d.seq[tid]}
+		d.s.Push(tid, v, d.seq[tid])
+		d.localPush[tid] = append(d.localPush[tid], v)
+	} else {
+		d.pend[tid] = pendingOp{active: true, op: stack.OpPop, seq: d.seq[tid]}
+		if v, ok := d.s.Pop(tid, d.seq[tid]); ok {
+			d.localPop[tid] = append(d.localPop[tid], v)
+		}
+	}
+	d.pend[tid].active = false
+}
+
+func (d *stackDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, v := range d.localPush[tid] {
+				d.pushed[v] = true
+			}
+			for _, v := range d.localPop[tid] {
+				if d.popped[v] {
+					return d.recovered, fmt.Errorf("value %x popped twice", v)
+				}
+				d.popped[v] = true
+			}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pend[tid].active || d.resolved[tid] {
+			continue
+		}
+		ret := d.s.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
+		d.resolved[tid] = true
+		d.recovered++
+		if d.pend[tid].op == stack.OpPush {
+			d.pushed[d.pend[tid].a0] = true
+		} else if ret != stack.Empty {
+			if d.popped[ret] {
+				return d.recovered, fmt.Errorf("recovered pop re-consumed %x", ret)
+			}
+			d.popped[ret] = true
+		}
+	}
+	return d.recovered, nil
+}
+
+func (d *stackDriver) Check() error {
+	residue := map[uint64]bool{}
+	for _, v := range d.s.Snapshot() {
+		if !d.pushed[v] || d.popped[v] || residue[v] {
+			return fmt.Errorf("inconsistent residue value %x", v)
+		}
+		residue[v] = true
+	}
+	for v := range d.pushed {
+		if !d.popped[v] && !residue[v] {
+			return fmt.Errorf("pushed value %x lost", v)
+		}
+	}
+	return nil
+}
+
+// heapDriver targets PBheap/PWFheap: key conservation plus the heap
+// invariant after every recovery.
+type heapDriver struct {
+	kind  heap.Kind
+	bound int
+	n     int
+	seed  int64
+
+	hp *heap.Heap
+
+	seq               []uint64
+	inserted, deleted map[uint64]int
+
+	round      int
+	pend       []pendingOp
+	localIns   [][]uint64
+	localInsOK [][]bool
+	localDel   [][]uint64
+	tRngs      []*rand.Rand
+	resolved   []bool
+	folded     bool
+	recovered  int
+}
+
+// NewHeapDriver builds a priority-queue target for n threads.
+func NewHeapDriver(kind heap.Kind, bound, n int, seed int64) Driver {
+	return &heapDriver{
+		kind: kind, bound: bound, n: n, seed: seed,
+		seq:      make([]uint64, n),
+		inserted: map[uint64]int{}, deleted: map[uint64]int{},
+	}
+}
+
+func (d *heapDriver) Name() string {
+	if d.kind == heap.WaitFree {
+		return "heap/PWFheap"
+	}
+	return "heap/PBheap"
+}
+
+func (d *heapDriver) Open(h *pmem.Heap) { d.hp = heap.New(h, "fh", d.n, d.kind, d.bound) }
+
+func (d *heapDriver) BeginRound(round int) {
+	d.round = round
+	d.pend = make([]pendingOp, d.n)
+	d.localIns = make([][]uint64, d.n)
+	d.localInsOK = make([][]bool, d.n)
+	d.localDel = make([][]uint64, d.n)
+	d.tRngs = make([]*rand.Rand, d.n)
+	for i := range d.tRngs {
+		d.tRngs[i] = rand.New(rand.NewSource(d.seed*7000 + int64(round*d.n+i)))
+	}
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *heapDriver) Step(tid, i int) {
+	r := d.tRngs[tid]
+	d.seq[tid]++
+	if r.Intn(2) == 0 {
+		key := uint64(d.round+1)<<40 | uint64(tid+1)<<24 | uint64(i) + 1
+		d.pend[tid] = pendingOp{active: true, op: heap.OpInsert, a0: key, seq: d.seq[tid]}
+		ok := d.hp.Insert(tid, key, d.seq[tid])
+		d.localIns[tid] = append(d.localIns[tid], key)
+		d.localInsOK[tid] = append(d.localInsOK[tid], ok)
+	} else {
+		d.pend[tid] = pendingOp{active: true, op: heap.OpDeleteMin, seq: d.seq[tid]}
+		if v, ok := d.hp.DeleteMin(tid, d.seq[tid]); ok {
+			d.localDel[tid] = append(d.localDel[tid], v)
+		}
+	}
+	d.pend[tid].active = false
+}
+
+func (d *heapDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for j, key := range d.localIns[tid] {
+				if d.localInsOK[tid][j] {
+					d.inserted[key]++
+				}
+			}
+			for _, v := range d.localDel[tid] {
+				d.deleted[v]++
+			}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pend[tid].active || d.resolved[tid] {
+			continue
+		}
+		ret := d.hp.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
+		d.resolved[tid] = true
+		d.recovered++
+		if d.pend[tid].op == heap.OpInsert {
+			if ret == heap.InsertOK {
+				d.inserted[d.pend[tid].a0]++
+			}
+		} else if ret != heap.Empty {
+			d.deleted[ret]++
+		}
+	}
+	return d.recovered, nil
+}
+
+func (d *heapDriver) Check() error {
+	residue := map[uint64]int{}
+	keys := d.hp.Keys()
+	for i, k := range keys {
+		residue[k]++
+		l, r := 2*i+1, 2*i+2
+		if l < len(keys) && keys[l] < k {
+			return fmt.Errorf("heap invariant violated at index %d", i)
+		}
+		if r < len(keys) && keys[r] < k {
+			return fmt.Errorf("heap invariant violated at index %d", i)
+		}
+	}
+	for k, cnt := range d.inserted {
+		if d.deleted[k]+residue[k] != cnt {
+			return fmt.Errorf("key %x inserted %d, found %d", k, cnt, d.deleted[k]+residue[k])
+		}
+	}
+	for k, cnt := range d.deleted {
+		if cnt > d.inserted[k] {
+			return fmt.Errorf("key %x deleted more than inserted", k)
+		}
+	}
+	return nil
+}
+
+// FuzzQueue runs a seeded fuzz campaign against one queue instance and
+// verifies detectable recoverability (compatibility wrapper over Fuzz).
+func FuzzQueue(kind queue.Kind, opt queue.Options, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rep, f := Fuzz(func(s int64) Driver { return NewQueueDriver(kind, opt, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
 }
 
 // FuzzStack is the stack analogue of FuzzQueue.
 func FuzzStack(kind stack.Kind, opt stack.Options, n, opsPerThread, rounds int, seed int64) (Report, error) {
-	rng := rand.New(rand.NewSource(seed))
-	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
-	s := stack.New(h, "fs", n, kind, opt)
-
-	var rep Report
-	rep.Seeds = 1
-	seq := make([]uint64, n)
-	pushed := map[uint64]bool{}
-	popped := map[uint64]bool{}
-
-	for round := 0; round < rounds; round++ {
-		pend := make([]pendingOp, n)
-		localPush := make([][]uint64, n)
-		localPop := make([][]uint64, n)
-		tRngs := make([]*rand.Rand, n)
-		for i := range tRngs {
-			tRngs[i] = rand.New(rand.NewSource(seed*3000 + int64(round*n+i)))
-		}
-		runRound(h, n, opsPerThread, rng, func(tid, i int) {
-			r := tRngs[tid]
-			seq[tid]++
-			if r.Intn(2) == 0 {
-				v := uint64(round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
-				pend[tid] = pendingOp{active: true, op: stack.OpPush, a0: v, seq: seq[tid]}
-				s.Push(tid, v, seq[tid])
-				localPush[tid] = append(localPush[tid], v)
-			} else {
-				pend[tid] = pendingOp{active: true, op: stack.OpPop, seq: seq[tid]}
-				if v, ok := s.Pop(tid, seq[tid]); ok {
-					localPop[tid] = append(localPop[tid], v)
-				}
-			}
-			pend[tid].active = false
-			rep.addOp()
-		})
-		rep.Crashes++
-		h.FinishCrash(policyFor(rng), seed+int64(round))
-		s = stack.New(h, "fs", n, kind, opt)
-
-		for tid := 0; tid < n; tid++ {
-			for _, v := range localPush[tid] {
-				pushed[v] = true
-			}
-			for _, v := range localPop[tid] {
-				if popped[v] {
-					return rep, fmt.Errorf("round %d: value %x popped twice", round, v)
-				}
-				popped[v] = true
-			}
-			if pend[tid].active {
-				rep.Recovered++
-				ret := s.Recover(tid, pend[tid].op, pend[tid].a0, pend[tid].seq)
-				if pend[tid].op == stack.OpPush {
-					pushed[pend[tid].a0] = true
-				} else if ret != stack.Empty {
-					if popped[ret] {
-						return rep, fmt.Errorf("round %d: recovered pop re-consumed %x", round, ret)
-					}
-					popped[ret] = true
-				}
-			}
-		}
-		residue := map[uint64]bool{}
-		for _, v := range s.Snapshot() {
-			if !pushed[v] || popped[v] || residue[v] {
-				return rep, fmt.Errorf("round %d: inconsistent residue value %x", round, v)
-			}
-			residue[v] = true
-		}
-		for v := range pushed {
-			if !popped[v] && !residue[v] {
-				return rep, fmt.Errorf("round %d: pushed value %x lost", round, v)
-			}
-		}
-	}
-	return rep, nil
+	rep, f := Fuzz(func(s int64) Driver { return NewStackDriver(kind, opt, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
 }
 
-// FuzzHeap crash-fuzzes PBheap/PWFheap: key conservation plus the heap
-// invariant after every recovery.
+// FuzzHeap crash-fuzzes PBheap/PWFheap.
 func FuzzHeap(kind heap.Kind, bound, n, opsPerThread, rounds int, seed int64) (Report, error) {
-	rng := rand.New(rand.NewSource(seed))
-	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
-	hp := heap.New(h, "fh", n, kind, bound)
-
-	var rep Report
-	rep.Seeds = 1
-	seq := make([]uint64, n)
-	inserted := map[uint64]int{} // key multiset (keys are unique by construction)
-	deleted := map[uint64]int{}
-
-	for round := 0; round < rounds; round++ {
-		pend := make([]pendingOp, n)
-		localIns := make([][]uint64, n)
-		localInsOK := make([][]bool, n)
-		localDel := make([][]uint64, n)
-		tRngs := make([]*rand.Rand, n)
-		for i := range tRngs {
-			tRngs[i] = rand.New(rand.NewSource(seed*7000 + int64(round*n+i)))
-		}
-		runRound(h, n, opsPerThread, rng, func(tid, i int) {
-			r := tRngs[tid]
-			seq[tid]++
-			if r.Intn(2) == 0 {
-				key := uint64(round+1)<<40 | uint64(tid+1)<<24 | uint64(i) + 1
-				pend[tid] = pendingOp{active: true, op: heap.OpInsert, a0: key, seq: seq[tid]}
-				ok := hp.Insert(tid, key, seq[tid])
-				localIns[tid] = append(localIns[tid], key)
-				localInsOK[tid] = append(localInsOK[tid], ok)
-			} else {
-				pend[tid] = pendingOp{active: true, op: heap.OpDeleteMin, seq: seq[tid]}
-				if v, ok := hp.DeleteMin(tid, seq[tid]); ok {
-					localDel[tid] = append(localDel[tid], v)
-				}
-			}
-			pend[tid].active = false
-			rep.addOp()
-		})
-		rep.Crashes++
-		h.FinishCrash(policyFor(rng), seed+int64(round))
-		hp = heap.New(h, "fh", n, kind, bound)
-
-		for tid := 0; tid < n; tid++ {
-			for j, key := range localIns[tid] {
-				if localInsOK[tid][j] {
-					inserted[key]++
-				}
-			}
-			for _, v := range localDel[tid] {
-				deleted[v]++
-			}
-			if pend[tid].active {
-				rep.Recovered++
-				ret := hp.Recover(tid, pend[tid].op, pend[tid].a0, pend[tid].seq)
-				if pend[tid].op == heap.OpInsert {
-					if ret == heap.InsertOK {
-						inserted[pend[tid].a0]++
-					}
-				} else if ret != heap.Empty {
-					deleted[ret]++
-				}
-			}
-		}
-		residue := map[uint64]int{}
-		keys := hp.Keys()
-		for i, k := range keys {
-			residue[k]++
-			l, r := 2*i+1, 2*i+2
-			if l < len(keys) && keys[l] < k {
-				return rep, fmt.Errorf("round %d: heap invariant violated", round)
-			}
-			if r < len(keys) && keys[r] < k {
-				return rep, fmt.Errorf("round %d: heap invariant violated", round)
-			}
-		}
-		for k, cnt := range inserted {
-			if deleted[k]+residue[k] != cnt {
-				return rep, fmt.Errorf("round %d: key %x inserted %d, found %d",
-					round, k, cnt, deleted[k]+residue[k])
-			}
-		}
-		for k, cnt := range deleted {
-			if cnt > inserted[k] {
-				return rep, fmt.Errorf("round %d: key %x deleted more than inserted", round, k)
-			}
-		}
-	}
-	return rep, nil
+	rep, f := Fuzz(func(s int64) Driver { return NewHeapDriver(kind, bound, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
 }
 
-// FuzzCounter crash-fuzzes a fetch&add counter on either protocol: every
-// applied increment returns a distinct previous value, and the final total
-// equals the number of resolved operations.
+// FuzzCounter crash-fuzzes a fetch&add counter on either protocol.
 func FuzzCounter(waitFree bool, n, opsPerThread, rounds int, seed int64) (Report, error) {
-	rng := rand.New(rand.NewSource(seed))
-	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
-	mk := func() core.Protocol {
-		if waitFree {
-			return core.NewPWFComb(h, "fc", n, core.Counter{})
-		}
-		return core.NewPBComb(h, "fc", n, core.Counter{})
-	}
-	c := mk()
-
-	var rep Report
-	rep.Seeds = 1
-	seq := make([]uint64, n)
-	rets := map[uint64]bool{}
-	total := uint64(0)
-
-	for round := 0; round < rounds; round++ {
-		pend := make([]pendingOp, n)
-		localRets := make([][]uint64, n)
-		runRound(h, n, opsPerThread, rng, func(tid, i int) {
-			seq[tid]++
-			pend[tid] = pendingOp{active: true, op: core.OpCounterAdd, a0: 1, seq: seq[tid]}
-			r := c.Invoke(tid, core.OpCounterAdd, 1, 0, seq[tid])
-			localRets[tid] = append(localRets[tid], r)
-			pend[tid].active = false
-			rep.addOp()
-		})
-		rep.Crashes++
-		h.FinishCrash(policyFor(rng), seed+int64(round))
-		c = mk()
-
-		for tid := 0; tid < n; tid++ {
-			for _, r := range localRets[tid] {
-				if rets[r] {
-					return rep, fmt.Errorf("round %d: duplicate return %d", round, r)
-				}
-				rets[r] = true
-				total++
-			}
-			if pend[tid].active {
-				rep.Recovered++
-				r := c.Recover(tid, core.OpCounterAdd, 1, 0, pend[tid].seq)
-				if rets[r] {
-					return rep, fmt.Errorf("round %d: recovered op duplicated return %d", round, r)
-				}
-				rets[r] = true
-				total++
-			}
-		}
-		if got := c.CurrentState().Load(0); got != total {
-			return rep, fmt.Errorf("round %d: counter = %d, resolved ops = %d", round, got, total)
-		}
-	}
-	return rep, nil
+	rep, f := Fuzz(func(s int64) Driver { return NewCounterDriver(waitFree, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
 }
-
-func (r *Report) addOp() { atomic.AddUint64(&r.OpsApplied, 1) }

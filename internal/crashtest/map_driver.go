@@ -8,101 +8,157 @@ import (
 	"pcomb/internal/pmem"
 )
 
-// FuzzMap crash-fuzzes the sharded recoverable hash map: after every crash
+// mapCapacity sizes the fuzzed map so a combining round copies a few KB of
+// shard state, not the whole table. The harness draws keys from a 64-key
+// window per thread, so 128 slots per shard is ample; the previous fixed
+// 1<<16 capacity made every combining round copy a 16385-word shard state
+// (~131KB), throttling map campaigns to a few operations per round.
+func mapCapacity(shards int) int { return shards * 128 }
+
+// mapDriver targets the sharded recoverable hash map: after every crash
 // round and recovery, the map must agree with an oracle reconstructed from
-// the per-thread operation logs plus the recovery results.
+// the per-thread operation logs plus the recovery results. Keys are
+// disjoint per thread, so each thread's last committed write to a key is
+// the oracle value — no cross-thread ordering ambiguity.
+type mapDriver struct {
+	kind     hashmap.Kind
+	shards   int
+	capacity int
+	n        int
+	seed     int64
+
+	m *hashmap.Map
+
+	oracle map[uint64]uint64
+
+	round      int
+	committed  [][]mapRec
+	pendOp     []mapRec
+	pendActive []bool
+	tRngs      []*rand.Rand
+	resolved   []bool
+	folded     bool
+	recovered  int
+}
+
+type mapRec struct {
+	op, key, val uint64
+}
+
+// NewMapDriver builds a hash-map target for n threads.
+func NewMapDriver(kind hashmap.Kind, shards, n int, seed int64) Driver {
+	return &mapDriver{
+		kind: kind, shards: shards, capacity: mapCapacity(shards), n: n, seed: seed,
+		oracle: map[uint64]uint64{},
+	}
+}
+
+func (d *mapDriver) Name() string {
+	if d.kind == hashmap.WaitFree {
+		return "map/PWFmap"
+	}
+	return "map/PBmap"
+}
+
+func (d *mapDriver) Open(h *pmem.Heap) {
+	d.m = hashmap.New(h, "fm", d.n, d.kind, d.shards, d.capacity)
+}
+
+func (d *mapDriver) BeginRound(round int) {
+	d.round = round
+	d.committed = make([][]mapRec, d.n)
+	d.pendOp = make([]mapRec, d.n)
+	d.pendActive = make([]bool, d.n)
+	d.tRngs = make([]*rand.Rand, d.n)
+	for i := range d.tRngs {
+		d.tRngs[i] = rand.New(rand.NewSource(d.seed*11000 + int64(round*d.n+i)))
+	}
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *mapDriver) Step(tid, i int) {
+	r := d.tRngs[tid]
+	key := uint64(tid)<<32 | uint64(r.Intn(64)) + 1
+	switch r.Intn(3) {
+	case 0:
+		val := uint64(d.round+1)<<40 | uint64(i) + 1
+		d.pendOp[tid] = mapRec{hashmap.OpPut, key, val}
+		d.pendActive[tid] = true
+		d.m.Put(tid, key, val)
+		d.committed[tid] = append(d.committed[tid], mapRec{hashmap.OpPut, key, val})
+	case 1:
+		d.pendOp[tid] = mapRec{hashmap.OpDel, key, 0}
+		d.pendActive[tid] = true
+		d.m.Delete(tid, key)
+		d.committed[tid] = append(d.committed[tid], mapRec{hashmap.OpDel, key, 0})
+	default:
+		d.pendOp[tid] = mapRec{hashmap.OpGet, key, 0}
+		d.pendActive[tid] = true
+		d.m.Get(tid, key)
+		d.committed[tid] = append(d.committed[tid], mapRec{hashmap.OpGet, key, 0})
+	}
+	d.pendActive[tid] = false
+}
+
+func (d *mapDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, c := range d.committed[tid] {
+				applyOracle(d.oracle, c.op, c.key, c.val)
+			}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pendActive[tid] || d.resolved[tid] {
+			continue
+		}
+		op, key, _, pending := d.m.Recover(tid)
+		d.resolved[tid] = true
+		d.recovered++
+		if !pending {
+			return d.recovered, fmt.Errorf("in-flight op of tid %d not pending", tid)
+		}
+		if op != d.pendOp[tid].op || key != d.pendOp[tid].key {
+			return d.recovered, fmt.Errorf("recovered wrong op (%d,%x) want (%d,%x)",
+				op, key, d.pendOp[tid].op, d.pendOp[tid].key)
+		}
+		applyOracle(d.oracle, d.pendOp[tid].op, d.pendOp[tid].key, d.pendOp[tid].val)
+	}
+	return d.recovered, nil
+}
+
+func (d *mapDriver) Check() error {
+	for key, want := range d.oracle {
+		got, ok := d.m.Get(int(key>>32), key)
+		if !ok || got != want {
+			return fmt.Errorf("key %x = %d,%v want %d", key, got, ok, want)
+		}
+	}
+	live := 0
+	bad := false
+	d.m.Range(func(k, v uint64) bool {
+		live++
+		if w, ok := d.oracle[k]; !ok || w != v {
+			bad = true
+			return false
+		}
+		return true
+	})
+	if bad || live != len(d.oracle) {
+		return fmt.Errorf("map/oracle divergence (live=%d oracle=%d)", live, len(d.oracle))
+	}
+	return nil
+}
+
+// FuzzMap crash-fuzzes the sharded recoverable hash map (compatibility
+// wrapper over Fuzz).
 func FuzzMap(kind hashmap.Kind, shards, n, opsPerThread, rounds int, seed int64) (Report, error) {
-	rng := rand.New(rand.NewSource(seed))
-	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
-	m := hashmap.New(h, "fm", n, kind, shards, 1<<16)
-
-	var rep Report
-	rep.Seeds = 1
-	// Keys are disjoint per thread, so each thread's last committed write
-	// to a key is the oracle value — no cross-thread ordering ambiguity.
-	oracle := map[uint64]uint64{}
-
-	type rec struct {
-		op, key, val uint64
-	}
-
-	for round := 0; round < rounds; round++ {
-		committed := make([][]rec, n)
-		pendOp := make([]rec, n)
-		pendActive := make([]bool, n)
-		tRngs := make([]*rand.Rand, n)
-		for i := range tRngs {
-			tRngs[i] = rand.New(rand.NewSource(seed*11000 + int64(round*n+i)))
-		}
-		runRound(h, n, opsPerThread, rng, func(tid, i int) {
-			r := tRngs[tid]
-			key := uint64(tid)<<32 | uint64(r.Intn(64)) + 1
-			switch r.Intn(3) {
-			case 0:
-				val := uint64(round+1)<<40 | uint64(i) + 1
-				pendOp[tid] = rec{hashmap.OpPut, key, val}
-				pendActive[tid] = true
-				m.Put(tid, key, val)
-				committed[tid] = append(committed[tid], rec{hashmap.OpPut, key, val})
-			case 1:
-				pendOp[tid] = rec{hashmap.OpDel, key, 0}
-				pendActive[tid] = true
-				m.Delete(tid, key)
-				committed[tid] = append(committed[tid], rec{hashmap.OpDel, key, 0})
-			default:
-				pendOp[tid] = rec{hashmap.OpGet, key, 0}
-				pendActive[tid] = true
-				m.Get(tid, key)
-				committed[tid] = append(committed[tid], rec{hashmap.OpGet, key, 0})
-			}
-			pendActive[tid] = false
-			rep.addOp()
-		})
-		rep.Crashes++
-		h.FinishCrash(policyFor(rng), seed+int64(round))
-		m = hashmap.New(h, "fm", n, kind, shards, 1<<16)
-
-		for tid := 0; tid < n; tid++ {
-			for _, c := range committed[tid] {
-				applyOracle(oracle, c.op, c.key, c.val)
-			}
-			if pendActive[tid] {
-				rep.Recovered++
-				op, key, _, pending := m.Recover(tid)
-				if !pending {
-					return rep, fmt.Errorf("round %d: in-flight op of tid %d not pending", round, tid)
-				}
-				if op != pendOp[tid].op || key != pendOp[tid].key {
-					return rep, fmt.Errorf("round %d: recovered wrong op (%d,%x) want (%d,%x)",
-						round, op, key, pendOp[tid].op, pendOp[tid].key)
-				}
-				applyOracle(oracle, pendOp[tid].op, pendOp[tid].key, pendOp[tid].val)
-			}
-		}
-
-		// The recovered map must agree with the oracle.
-		for key, want := range oracle {
-			got, ok := m.Get(int(key>>32), key)
-			if !ok || got != want {
-				return rep, fmt.Errorf("round %d: key %x = %d,%v want %d", round, key, got, ok, want)
-			}
-		}
-		live := 0
-		bad := false
-		m.Range(func(k, v uint64) bool {
-			live++
-			if w, ok := oracle[k]; !ok || w != v {
-				bad = true
-				return false
-			}
-			return true
-		})
-		if bad || live != len(oracle) {
-			return rep, fmt.Errorf("round %d: map/oracle divergence (live=%d oracle=%d)",
-				round, live, len(oracle))
-		}
-	}
-	return rep, nil
+	rep, f := Fuzz(func(s int64) Driver { return NewMapDriver(kind, shards, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
 }
 
 func applyOracle(oracle map[uint64]uint64, op, key, val uint64) {

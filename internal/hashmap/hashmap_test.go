@@ -320,3 +320,51 @@ func TestShardingDistributesLoad(t *testing.T) {
 		}
 	}
 }
+
+// TestRecoverIdempotent crashes inside a Put at every crash point, then
+// exercises the map's recovery-idempotence contract: the first Recover
+// resolves the op, a second Recover (same instance or after another
+// re-open) reports nothing pending, and the state never changes again.
+func TestRecoverIdempotent(t *testing.T) {
+	for kk := int64(1); ; kk++ {
+		h := newHeap()
+		m := New(h, "m", 1, Blocking, 2, 64)
+		m.Put(0, 5, 50)
+		sh := m.shardOf(9)
+		ctx := m.shards[sh].Ctx(0)
+		ctx.SetCrashAt(kk)
+		crashed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashError); !ok {
+						panic(r)
+					}
+					crashed = true
+				}
+			}()
+			m.Put(0, 9, 90)
+		}()
+		if !crashed {
+			return
+		}
+		h.Crash(pmem.DropUnfenced, kk)
+		m2 := New(h, "m", 1, Blocking, 2, 64)
+		if _, _, _, pending := m2.Recover(0); !pending {
+			t.Fatalf("crash@%d: interrupted Put not pending", kk)
+		}
+		if _, _, _, pending := m2.Recover(0); pending {
+			t.Fatalf("crash@%d: resolved op still pending on second Recover", kk)
+		}
+		if v, ok := m2.Get(0, 9); !ok || v != 90 {
+			t.Fatalf("crash@%d: key 9 = %d,%v", kk, v, ok)
+		}
+		m3 := New(h, "m", 1, Blocking, 2, 64)
+		if _, _, _, pending := m3.Recover(0); pending {
+			t.Fatalf("crash@%d: resolved op pending again after re-open", kk)
+		}
+		if m3.Len() != 2 {
+			t.Fatalf("crash@%d: len = %d, want 2", kk, m3.Len())
+		}
+	}
+}

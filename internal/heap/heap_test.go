@@ -364,3 +364,54 @@ func TestSparseHeapFewerPwbs(t *testing.T) {
 		t.Fatalf("sparse heap pwbs %d not ≪ dense %d at bound 1024", sparse, dense)
 	}
 }
+
+// TestRecoverIdempotent re-runs Recover for an interrupted insert — twice
+// on one re-opened instance, then after another re-open — at every crash
+// point. The key must land exactly once and the heap invariant must hold.
+func TestRecoverIdempotent(t *testing.T) {
+	for _, k := range kinds() {
+		t.Run(k.name, func(t *testing.T) {
+			for kk := int64(1); ; kk++ {
+				h := newHeap()
+				hp := New(h, "h", 1, k.kind, 64)
+				for i := uint64(1); i <= 3; i++ {
+					hp.Insert(0, i*10, i)
+				}
+				ctx := hp.Protocol().Ctx(0)
+				ctx.SetCrashAt(kk)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					hp.Insert(0, 5, 4)
+				}()
+				if !crashed {
+					return
+				}
+				h.Crash(pmem.DropUnfenced, kk)
+				hp2 := New(h, "h", 1, k.kind, 64)
+				r1 := hp2.Recover(0, OpInsert, 5, 4)
+				r2 := hp2.Recover(0, OpInsert, 5, 4)
+				if r1 != r2 || r1 != InsertOK {
+					t.Fatalf("crash@%d: Recover returned %d then %d", kk, r1, r2)
+				}
+				if hp2.Len() != 4 || !heapInvariant(hp2.Keys()) {
+					t.Fatalf("crash@%d: double recovery broke the heap: %v", kk, hp2.Keys())
+				}
+				hp3 := New(h, "h", 1, k.kind, 64)
+				if r3 := hp3.Recover(0, OpInsert, 5, 4); r3 != r1 {
+					t.Fatalf("crash@%d: re-opened Recover returned %d", kk, r3)
+				}
+				if hp3.Len() != 4 || !heapInvariant(hp3.Keys()) {
+					t.Fatalf("crash@%d: third recovery broke the heap: %v", kk, hp3.Keys())
+				}
+			}
+		})
+	}
+}

@@ -19,7 +19,16 @@ const (
 	// RandomCut persists a random subset of each thread's pending tail, in
 	// issue order (so a later write-back of the same line wins).
 	RandomCut
+	// TornLine persists, per pending write-back, either nothing, the whole
+	// line, or — the adversarial case — a word-granular prefix or subset of
+	// the captured line. Persistence is atomic only at word granularity, so
+	// a line still in flight at the power cut may tear mid-line; algorithms
+	// must never rely on an unfenced line reaching NVMM in one piece.
+	TornLine
 )
+
+// NumCrashPolicies is the number of defined crash policies.
+const NumCrashPolicies = 4
 
 func (p CrashPolicy) String() string {
 	switch p {
@@ -29,8 +38,28 @@ func (p CrashPolicy) String() string {
 		return "apply-all"
 	case RandomCut:
 		return "random-cut"
+	case TornLine:
+		return "torn-line"
 	}
 	return "unknown"
+}
+
+// ParseCrashPolicy parses a CrashPolicy's String form.
+func ParseCrashPolicy(s string) (CrashPolicy, bool) {
+	for p := CrashPolicy(0); p < NumCrashPolicies; p++ {
+		if p.String() == s {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// CrashOutcome summarizes what a FinishCrash did to the pending write-backs
+// (fault-injection accounting, surfaced through internal/obs).
+type CrashOutcome struct {
+	Pending int // write-backs pending across all contexts at the crash
+	Applied int // applied whole
+	Torn    int // applied partially (word-granular prefix/subset)
 }
 
 // TriggerCrash makes every subsequent persistence event on every context
@@ -40,46 +69,95 @@ func (h *Heap) TriggerCrash() {
 	h.crashedFlag.Store(true)
 }
 
+// SetCrashAtEvent arranges for the k-th subsequent persistence event —
+// counted globally across every context of the heap — to panic with
+// CrashError after marking the heap crashed (so all other threads unwind
+// too). k <= 0 disarms. This is the deterministic, whole-heap crash
+// schedule the systematic crash-point enumeration in internal/crashtest is
+// built on; it is only meaningful in ModeShadow.
+func (h *Heap) SetCrashAtEvent(k int64) {
+	if k <= 0 {
+		h.crashAtEvent.Store(0)
+		return
+	}
+	h.crashAtEvent.Store(h.events.Load() + k)
+}
+
+// GlobalEvents returns the total number of persistence events executed on
+// this heap across all contexts (ModeShadow only; zero otherwise). Crash
+// enumeration records one run's event count and then replays it, crashing
+// at every index.
+func (h *Heap) GlobalEvents() int64 { return h.events.Load() }
+
 // FinishCrash completes a simulated crash: for each thread context the given
 // policy decides which scheduled write-backs become durable, then every
 // region's volatile contents are replaced by its durable shadow, pending
-// queues are cleared, and the heap becomes usable again (callers must rebuild
-// all volatile state and run recovery functions, exactly as after a real
-// power failure). Only valid in ModeShadow.
-func (h *Heap) FinishCrash(policy CrashPolicy, seed int64) {
+// queues are cleared, crash schedules are disarmed, and the heap becomes
+// usable again (callers must rebuild all volatile state and run recovery
+// functions, exactly as after a real power failure). Only valid in
+// ModeShadow. The returned CrashOutcome reports how the adversary treated
+// the pending write-backs.
+func (h *Heap) FinishCrash(policy CrashPolicy, seed int64) CrashOutcome {
 	if h.cfg.Mode != ModeShadow {
 		panic("pmem: FinishCrash requires ModeShadow")
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rng := rand.New(rand.NewSource(seed))
+	var out CrashOutcome
 	for _, c := range h.ctxs {
-		applyCrashPolicy(c, policy, rng)
+		out.Pending += len(c.pending)
+		applyCrashPolicy(c, policy, rng, &out)
 		c.pending = c.pending[:0]
 		c.crashAt = 0
 	}
 	for _, r := range h.byID {
 		r.restoreFromShadow()
 	}
+	h.crashAtEvent.Store(0)
 	h.crashedFlag.Store(false)
+	return out
 }
 
 // Crash is TriggerCrash + FinishCrash for single-threaded harnesses.
-func (h *Heap) Crash(policy CrashPolicy, seed int64) {
+func (h *Heap) Crash(policy CrashPolicy, seed int64) CrashOutcome {
 	h.TriggerCrash()
-	h.FinishCrash(policy, seed)
+	return h.FinishCrash(policy, seed)
 }
 
-func applyCrashPolicy(c *Ctx, policy CrashPolicy, rng *rand.Rand) {
+func applyCrashPolicy(c *Ctx, policy CrashPolicy, rng *rand.Rand, out *CrashOutcome) {
 	switch policy {
 	case DropUnfenced:
 		// nothing survives
 	case ApplyAll:
+		out.Applied += len(c.pending)
 		c.drainAll()
 	case RandomCut:
 		for _, f := range c.pending {
 			if rng.Intn(2) == 0 {
 				f.r.applyShadowLine(f.line, f.data)
+				out.Applied++
+			}
+		}
+	case TornLine:
+		for _, f := range c.pending {
+			switch rng.Intn(4) {
+			case 0:
+				// dropped entirely
+			case 1:
+				f.r.applyShadowLine(f.line, f.data)
+				out.Applied++
+			case 2:
+				// torn prefix: the line's write-back was cut off mid-line
+				k := rng.Intn(len(f.data))
+				f.r.applyShadowWords(f.line, f.data, uint64(1)<<uint(k)-1)
+				out.Torn++
+			default:
+				// arbitrary word subset: word persists are unordered within
+				// an unfenced line
+				mask := rng.Uint64() & (uint64(1)<<uint(len(f.data)) - 1)
+				f.r.applyShadowWords(f.line, f.data, mask)
+				out.Torn++
 			}
 		}
 	}

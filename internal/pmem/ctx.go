@@ -76,7 +76,11 @@ func (c *Ctx) SetCrashAt(k int64) {
 	c.crashAt = c.instr + k
 }
 
-// event counts one persistence event and fires crash injection.
+// event counts one persistence event and fires crash injection — first the
+// per-context schedule (SetCrashAt), then the heap-global one
+// (SetCrashAtEvent). A global trigger marks the whole heap crashed before
+// unwinding, so every other thread's next persistence event (and the
+// protocols' spin loops) panic too.
 func (c *Ctx) event() {
 	if c.h.crashedFlag.Load() {
 		panic(CrashError{})
@@ -84,6 +88,13 @@ func (c *Ctx) event() {
 	c.instr++
 	if c.crashAt != 0 && c.instr >= c.crashAt {
 		panic(CrashError{})
+	}
+	if c.h.cfg.Mode == ModeShadow {
+		n := c.h.events.Add(1)
+		if t := c.h.crashAtEvent.Load(); t > 0 && n >= t {
+			c.h.crashedFlag.Store(true)
+			panic(CrashError{})
+		}
 	}
 }
 

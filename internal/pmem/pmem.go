@@ -93,12 +93,22 @@ const (
 type Heap struct {
 	cfg Config
 
-	mu      sync.Mutex
-	regions map[string]*Region
-	byID    []*Region
-	ctxs    []*Ctx
+	mu       sync.Mutex
+	regions  map[string]*Region
+	byID     []*Region
+	ctxs     []*Ctx
+	manifest *Region
 
 	crashedFlag atomic.Bool
+
+	// Global persistence-event bookkeeping (ModeShadow only): events counts
+	// every pwb/pfence/psync/CrashPoint across all contexts, and
+	// crashAtEvent, when non-zero, is the absolute event index at which the
+	// next event panics with CrashError (the deterministic crash schedule
+	// that generalizes the per-context SetCrashAt to "the k-th persistence
+	// event anywhere").
+	events       atomic.Int64
+	crashAtEvent atomic.Int64
 
 	pwbCost    spinCost
 	pfenceCost spinCost
@@ -129,6 +139,7 @@ func NewHeap(cfg Config) *Heap {
 	if !cfg.NoCost {
 		h.missCost = costForNs(cfg.MissNs)
 	}
+	h.initManifestLocked()
 	return h
 }
 
@@ -149,17 +160,38 @@ func (h *Heap) Alloc(name string, words int) *Region {
 
 // AllocOrGet returns the region with the given name, allocating it if it
 // does not exist. Re-opening after Crash+Recover returns the recovered
-// region. It panics if an existing region has a different size.
+// region, after validating the region's checksummed manifest entry. It
+// panics if an existing region has a different size, or with an error
+// wrapping ErrCorruptManifest if the manifest is damaged (use OpenChecked
+// to receive the error instead).
 func (h *Heap) AllocOrGet(name string, words int) *Region {
+	r, err := h.OpenChecked(name, words)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// OpenChecked is AllocOrGet with typed errors instead of panics: re-opening
+// an existing region validates its manifest entry and returns an error
+// wrapping ErrCorruptManifest if the durable catalogue was damaged, rather
+// than silently serving a region whose metadata cannot be trusted.
+func (h *Heap) OpenChecked(name string, words int) (*Region, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if r, ok := h.regions[name]; ok {
-		if len(r.words) != words {
-			panic(fmt.Sprintf("pmem: region %q reopened with %d words, has %d", name, words, len(r.words)))
-		}
-		return r
+	if name == ManifestRegion {
+		return nil, fmt.Errorf("pmem: region name %q is reserved", name)
 	}
-	return h.allocLocked(name, words)
+	if r, ok := h.regions[name]; ok {
+		if err := h.manifestVerifyEntryLocked(name, words); err != nil {
+			return nil, err
+		}
+		if len(r.words) != words {
+			return nil, fmt.Errorf("pmem: region %q reopened with %d words, has %d", name, words, len(r.words))
+		}
+		return r, nil
+	}
+	return h.allocLocked(name, words), nil
 }
 
 func (h *Heap) allocLocked(name string, words int) *Region {
@@ -174,6 +206,9 @@ func (h *Heap) allocLocked(name string, words int) *Region {
 	}
 	h.regions[name] = r
 	h.byID = append(h.byID, r)
+	if h.manifest != nil && name != ManifestRegion {
+		h.manifestAddLocked(name, words)
+	}
 	return r
 }
 

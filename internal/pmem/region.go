@@ -114,6 +114,38 @@ func (r *Region) applyShadowLine(li int, data []uint64) {
 	r.shadMu.unlock()
 }
 
+// applyShadowWords makes a word-granular subset of the captured contents of
+// line li durable: word j of the capture is applied iff bit j of mask is
+// set. This models a torn cache-line write-back — persistence is atomic at
+// word granularity only, so a line pending at the crash may reach the
+// durable domain partially.
+func (r *Region) applyShadowWords(li int, data []uint64, mask uint64) {
+	lo := li * LineWords
+	r.shadMu.lock()
+	for j := range data {
+		if mask&(1<<uint(j)) != 0 {
+			r.shadow[lo+j] = data[j]
+		}
+	}
+	r.shadMu.unlock()
+}
+
+// xorWord flips bits of word i in both the volatile contents and the
+// durable shadow (corruption injection; see Heap.CorruptRegion).
+func (r *Region) xorWord(i int, mask uint64) {
+	for {
+		old := atomic.LoadUint64(&r.words[i])
+		if atomic.CompareAndSwapUint64(&r.words[i], old, old^mask) {
+			break
+		}
+	}
+	if r.shadow != nil {
+		r.shadMu.lock()
+		r.shadow[i] ^= mask
+		r.shadMu.unlock()
+	}
+}
+
 // restoreFromShadow overwrites the volatile contents with the durable shadow,
 // simulating the state visible after a power failure.
 func (r *Region) restoreFromShadow() {

@@ -443,3 +443,97 @@ func TestCrashSweepAllPolicies(t *testing.T) {
 		})
 	}
 }
+
+// TestRecoverIdempotent re-runs the recovery functions — twice on one
+// re-opened instance, then once more after another re-open — at every
+// crash point inside an enqueue and a dequeue. Responses and the durable
+// residue must be identical each time (crash-during-recovery soundness).
+func TestRecoverIdempotent(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			for k := int64(1); ; k++ {
+				h := newHeap()
+				q := New(h, "q", 1, v.kind, v.opt)
+				for i := uint64(1); i <= 3; i++ {
+					q.Enqueue(0, i, i)
+				}
+				ctx := q.EnqProtocol().Ctx(0)
+				ctx.SetCrashAt(k)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					q.Enqueue(0, 4, 4)
+				}()
+				if !crashed {
+					break
+				}
+				h.Crash(pmem.DropUnfenced, k)
+				q2 := New(h, "q", 1, v.kind, v.opt)
+				if got := q2.RecoverEnqueue(0, 4, 4); got != EnqOK {
+					t.Fatalf("crash@%d: RecoverEnqueue = %d", k, got)
+				}
+				if got := q2.RecoverEnqueue(0, 4, 4); got != EnqOK {
+					t.Fatalf("crash@%d: second RecoverEnqueue = %d", k, got)
+				}
+				if snap := q2.Snapshot(); len(snap) != 4 {
+					t.Fatalf("crash@%d: double recovery duplicated the enqueue: %v", k, snap)
+				}
+				q3 := New(h, "q", 1, v.kind, v.opt)
+				if got := q3.RecoverEnqueue(0, 4, 4); got != EnqOK {
+					t.Fatalf("crash@%d: re-opened RecoverEnqueue = %d", k, got)
+				}
+				if snap := q3.Snapshot(); len(snap) != 4 {
+					t.Fatalf("crash@%d: third recovery duplicated the enqueue: %v", k, snap)
+				}
+			}
+			for k := int64(1); ; k++ {
+				h := newHeap()
+				q := New(h, "q", 1, v.kind, v.opt)
+				for i := uint64(1); i <= 4; i++ {
+					q.Enqueue(0, i, i)
+				}
+				ctx := q.DeqProtocol().Ctx(0)
+				ctx.SetCrashAt(k)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					q.Dequeue(0, 1)
+				}()
+				if !crashed {
+					return
+				}
+				h.Crash(pmem.DropUnfenced, k)
+				q2 := New(h, "q", 1, v.kind, v.opt)
+				v1, ok1 := q2.RecoverDequeue(0, 1)
+				v2, ok2 := q2.RecoverDequeue(0, 1)
+				if v1 != v2 || ok1 != ok2 || !ok1 || v1 != 1 {
+					t.Fatalf("crash@%d: RecoverDequeue %d,%v then %d,%v", k, v1, ok1, v2, ok2)
+				}
+				if snap := q2.Snapshot(); len(snap) != 3 {
+					t.Fatalf("crash@%d: double recovery re-dequeued: %v", k, snap)
+				}
+				q3 := New(h, "q", 1, v.kind, v.opt)
+				if v3, ok3 := q3.RecoverDequeue(0, 1); !ok3 || v3 != 1 {
+					t.Fatalf("crash@%d: re-opened RecoverDequeue = %d,%v", k, v3, ok3)
+				}
+				if snap := q3.Snapshot(); len(snap) != 3 {
+					t.Fatalf("crash@%d: third recovery re-dequeued: %v", k, snap)
+				}
+			}
+		})
+	}
+}

@@ -304,3 +304,54 @@ func TestPersistenceCostLowerWithElimination(t *testing.T) {
 		t.Logf("note: elimination pwbs=%d > no-elim pwbs=%d (low combining degree run)", with, without)
 	}
 }
+
+// TestRecoverIdempotent re-runs Recover for an interrupted push — twice on
+// one re-opened instance, then after another re-open — at every crash
+// point. The response must repeat and the value must appear exactly once.
+func TestRecoverIdempotent(t *testing.T) {
+	for _, v := range allVariants() {
+		t.Run(v.name, func(t *testing.T) {
+			for k := int64(1); ; k++ {
+				h := newHeap()
+				s := New(h, "s", 1, v.kind, v.opt)
+				for i := uint64(1); i <= 3; i++ {
+					s.Push(0, i*10, i)
+				}
+				ctx := s.Protocol().Ctx(0)
+				ctx.SetCrashAt(k)
+				crashed := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashError); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					s.Push(0, 40, 4)
+				}()
+				if !crashed {
+					return
+				}
+				h.Crash(pmem.DropUnfenced, k)
+				s2 := New(h, "s", 1, v.kind, v.opt)
+				r1 := s2.Recover(0, OpPush, 40, 4)
+				r2 := s2.Recover(0, OpPush, 40, 4)
+				if r1 != r2 {
+					t.Fatalf("crash@%d: Recover returned %d then %d", k, r1, r2)
+				}
+				if snap := s2.Snapshot(); len(snap) != 4 {
+					t.Fatalf("crash@%d: double recovery changed the stack: %v", k, snap)
+				}
+				s3 := New(h, "s", 1, v.kind, v.opt)
+				if r3 := s3.Recover(0, OpPush, 40, 4); r3 != r1 {
+					t.Fatalf("crash@%d: re-opened Recover returned %d, want %d", k, r3, r1)
+				}
+				if snap := s3.Snapshot(); len(snap) != 4 {
+					t.Fatalf("crash@%d: third recovery changed the stack: %v", k, snap)
+				}
+			}
+		})
+	}
+}
