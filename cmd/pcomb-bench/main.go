@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext all")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk all")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
@@ -163,9 +163,26 @@ func main() {
 		"ext": func() {
 			emit("Extensions ext: sharded map, sparse heap, durable-only", "Mops/s", harness.FigExt(cfg))
 		},
+		"sp": func() {
+			series := harness.FigBench(cfg)
+			emit("Extensions sp: dense vs sparse (dirty-delta) persistence", "Mops/s", series)
+			if *format == "table" {
+				harness.PrintSeries(os.Stdout, "Extensions sp: dense vs sparse", "pwbs/op", series)
+				if *metrics {
+					harness.PrintSeries(os.Stdout, "Extensions sp: dense vs sparse", "copy-words/op", series)
+				}
+			}
+		},
+		"bk": func() {
+			series := harness.FigBackoff(cfg)
+			emit("Extensions bk: adaptive announce backoff on/off", "Mops/s", series)
+			if *format == "table" && *metrics {
+				harness.PrintSeries(os.Stdout, "Extensions bk: adaptive announce backoff", "comb-degree-mean", series)
+			}
+		},
 	}
 
-	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext"}
+	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk"}
 	do := func(f string) {
 		curFig = f // tags the JSONL records emitted while this figure runs
 		runs[f]()

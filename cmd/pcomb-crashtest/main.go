@@ -79,6 +79,12 @@ func targets() []target {
 		{"heap/PWFheap", func(n int) func(int64) crashtest.Driver {
 			return func(s int64) crashtest.Driver { return crashtest.NewHeapDriver(heap.WaitFree, 1024, n, s) }
 		}},
+		{"register/PBsparse", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewRegisterDriver(false, n, s) }
+		}},
+		{"register/PWFsparse", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewRegisterDriver(true, n, s) }
+		}},
 	}
 }
 
@@ -95,7 +101,7 @@ func main() {
 		threads  = flag.Int("threads", 8, "worker goroutines")
 		ops      = flag.Int("ops", 1000, "operation budget per thread per round")
 		rounds   = flag.Int("rounds", 3, "crash rounds per seed (fuzz mode)")
-		tgt      = flag.String("target", "all", "target: a structure (counter queue stack heap map), a full name like queue/PBqueue, or all")
+		tgt      = flag.String("target", "all", "target: a structure (counter queue stack heap map register), a full name like queue/PBqueue, or all")
 		torn     = flag.Bool("torn", false, "add the torn-line adversary (partial cache lines persist)")
 		corrupt  = flag.Bool("corrupt", false, "inject manifest corruption every round and require detection")
 		double   = flag.Bool("double", true, "fire second crashes while recovery is replaying")

@@ -106,6 +106,19 @@ func (d *dirtySet) add(off, n int) {
 	}
 }
 
+// addLine records a single dirty line by index.
+func (d *dirtySet) addLine(l int) {
+	if l >= 0 && l < len(d.mark) && !d.mark[l] {
+		d.mark[l] = true
+		d.lines = append(d.lines, l)
+	}
+}
+
+// has reports whether line l is marked dirty.
+func (d *dirtySet) has(l int) bool {
+	return l >= 0 && l < len(d.mark) && d.mark[l]
+}
+
 func (d *dirtySet) reset() {
 	for _, l := range d.lines {
 		d.mark[l] = false

@@ -35,6 +35,7 @@ func (AtomicFloat) Apply(env *Env, r *Request) {
 	old := env.State.Load(0)
 	k := math.Float64frombits(r.A0)
 	env.State.Store(0, math.Float64bits(math.Float64frombits(old)*k))
+	env.MarkDirty(0, 1)
 	r.Ret = old
 }
 
@@ -53,6 +54,7 @@ func (Counter) Apply(env *Env, r *Request) {
 	switch r.Op {
 	case OpCounterAdd:
 		env.State.Store(0, old+r.A0)
+		env.MarkDirty(0, 1)
 	case OpCounterGet:
 	}
 	r.Ret = old
@@ -83,12 +85,15 @@ func (f RegisterFile) Apply(env *Env, r *Request) {
 	case OpRegWrite:
 		r.Ret = env.State.Load(int(r.A0))
 		env.State.Store(int(r.A0), r.A1)
+		env.MarkDirty(int(r.A0), 1)
 	case OpRegTransfer:
 		from, to := int(r.A0), int(r.A1)
 		bf := env.State.Load(from)
 		if bf > 0 {
 			env.State.Store(from, bf-1)
 			env.State.Store(to, env.State.Load(to)+1)
+			env.MarkDirty(from, 1)
+			env.MarkDirty(to, 1)
 		}
 		r.Ret = env.State.Load(from)
 	default:

@@ -38,6 +38,15 @@ type PBComb struct {
 	ctxs    []*pmem.Ctx
 	scratch [][]Request
 
+	// Adaptive announce backoff (see Invoke): per-thread bounded exponential
+	// waits between announcing and competing for the lock, tuned by the
+	// observed combining degree so announcements accumulate into larger
+	// batches exactly when rounds still have room to grow.
+	adaptive bool
+	annYld   []prim.PaddedUint64 // per-thread announce-wait length, in yields (own thread only)
+	annHot   []prim.PaddedUint64 // per-thread contention flag (own thread only)
+	degEMA   atomic.Uint64       // combining-degree EMA, fixed-point <<emaShift
+
 	// Coherence hot spots (see pmem.HotWord): the lock, the record-index
 	// word, the two records, and the announcement slots.
 	hotLock pmem.HotWord
@@ -124,9 +133,13 @@ func newPBComb(h *pmem.Heap, name string, n int, obj Object, durableOnly bool) *
 	c.hotReq = make([]pmem.HotWord, n)
 	c.ctxs = make([]*pmem.Ctx, n)
 	c.scratch = make([][]Request, n)
+	c.adaptive = true
+	c.annYld = make([]prim.PaddedUint64, n)
+	c.annHot = make([]prim.PaddedUint64, n)
 	for i := range c.ctxs {
 		c.ctxs[i] = h.NewCtx()
 		c.scratch[i] = make([]Request, 0, n)
+		c.annYld[i].V.Store(annYieldMin)
 	}
 
 	if c.meta.Load(pmem.LineWords) != initMagic {
@@ -173,6 +186,19 @@ func (c *PBComb) CurrentState() State {
 	return c.recState(c.meta.Load(0))
 }
 
+// Announce-backoff tuning: the wait is measured in scheduler yields (each
+// yield is a chance for another thread to announce), bounded exponential in
+// [annYieldMin, 4*min(n, annDegreeCap)]; the combining-degree EMA uses
+// emaShift bits of fixed point and an exponential window of 1/emaAlpha;
+// degrees beyond annDegreeCap are treated as "batches are already large"
+// regardless of n.
+const (
+	annYieldMin  = 1
+	emaShift     = 8
+	emaAlpha     = 8
+	annDegreeCap = 64
+)
+
 // Invoke announces and executes one operation for thread tid. The caller
 // supplies a per-thread sequence number that starts at 1 and increases by 1
 // with every invocation; its low bit drives the activate/deactivate
@@ -180,12 +206,65 @@ func (c *PBComb) CurrentState() State {
 func (c *PBComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
 	c.req[tid].announce(op, a0, a1, seq&1)
 	c.onReqWrite(tid, tid)
-	// Yield between announcing and competing for the lock: on oversubscribed
-	// cores this is what lets announcements accumulate into large combining
-	// batches (cf. the paper's Osci discussion); on dedicated cores it is a
-	// cheap no-op.
-	prim.Pause()
+	// Wait between announcing and competing for the lock: this is what lets
+	// announcements accumulate into large combining batches (cf. the paper's
+	// backoff discussion). The wait is adaptive: it grows only while other
+	// threads are demonstrably competing AND observed rounds are still small
+	// relative to the thread count, and shrinks back otherwise, so an
+	// uncontended instance degenerates to the old single yield.
+	if c.adaptive && c.n > 1 {
+		c.announceWait(tid, seq&1)
+	} else {
+		prim.Pause()
+	}
 	return c.perform(tid)
+}
+
+// SetAdaptiveBackoff enables or disables the adaptive announce backoff
+// (enabled by default). Disabled, Invoke falls back to a bare yield between
+// announcing and competing, the pre-backoff behavior — the ablation the
+// combining-degree sweep in EXPERIMENTS.md compares against.
+func (c *PBComb) SetAdaptiveBackoff(on bool) { c.adaptive = on }
+
+// announceWait adapts and applies thread tid's announce backoff. The wait is
+// a bounded number of scheduler yields — each yield lets another announcing
+// thread run, which is what actually grows the next combiner's batch — and
+// exits early the moment a combiner deactivates tid's request, so long waits
+// under contention cost almost no extra latency. Growth requires both a
+// contention signal (tid saw the lock held or lost a CAS since its last
+// wait) and headroom in the combining degree: once rounds already serve
+// about half the useful maximum, longer waits only add latency.
+func (c *PBComb) announceWait(tid int, myActivate uint64) {
+	target := uint64(c.n)
+	if target > annDegreeCap {
+		target = annDegreeCap
+	}
+	w := c.annYld[tid].V.Load()
+	if c.annHot[tid].V.Load() != 0 && c.degEMA.Load() < (target<<emaShift)*7/8 {
+		if w*2 <= 4*target {
+			w *= 2
+		}
+	} else if w/2 >= annYieldMin {
+		w /= 2
+	}
+	c.annYld[tid].V.Store(w)
+	c.annHot[tid].V.Store(0)
+	for i := uint64(0); i < w; i++ {
+		prim.Pause()
+		mi := c.meta.Load(0)
+		if c.state.Load(c.recOff(mi)+c.deactOff+tid) == myActivate {
+			return // served while waiting; perform's entry check completes it
+		}
+	}
+}
+
+// noteContention records that tid observed lock competition (held lock or a
+// failed CAS); consumed by the next announceWait. tid-local, so a plain
+// store suffices; the padding avoids false sharing with neighbors.
+func (c *PBComb) noteContention(tid int) {
+	if c.adaptive {
+		c.annHot[tid].V.Store(1)
+	}
 }
 
 // Recover is the recovery function for thread tid's interrupted operation:
@@ -229,6 +308,9 @@ func (c *PBComb) perform(tid int) uint64 {
 			}
 			mi = c.meta.Load(0)
 			c.onHelped(tid)
+			// Being served by another thread's combining round is itself the
+			// contention signal the announce backoff keys on.
+			c.noteContention(tid)
 			return c.state.Load(c.recOff(mi) + c.retOff + tid)
 		}
 		lval := c.lock.Load()
@@ -242,6 +324,9 @@ func (c *PBComb) perform(tid int) uint64 {
 			c.onLockFail(tid)
 			lval++
 		}
+		// Reaching here means another thread holds the lock (or beat our CAS):
+		// a contention signal for the adaptive announce backoff.
+		c.noteContention(tid)
 		for c.lock.Load() == lval {
 			if c.h.Crashed() {
 				// The combiner we are waiting for died in a simulated
@@ -267,6 +352,7 @@ func (c *PBComb) perform(tid int) uint64 {
 			}
 			mi = c.meta.Load(0)
 			c.onHelped(tid)
+			c.noteContention(tid)
 			return c.state.Load(c.recOff(mi) + c.retOff + tid)
 		}
 	}
@@ -282,9 +368,22 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	src, dst := c.recOff(mi), c.recOff(ind)
 	c.h.Touch(&c.hotRec[mi&1], tid)
 	c.h.Touch(&c.hotRec[ind&1], tid)
-	c.state.CopyWords(dst, c.state, src, c.recWords)
+	// Sparse mode copies only the delta: the destination record's volatile
+	// content is exactly one round stale (the last time it was dst, the copy
+	// made it equal to the then-current record, then the round's writes were
+	// applied to it — i.e. it ended that round equal to the current state),
+	// so src differs from dst only in the lines the previous round dirtied,
+	// plus the ReturnVal/Deactivate tail. Un-booted records (arbitrary
+	// content from before this instance opened) get one full copy, mirroring
+	// persistSparse's boot handling.
+	copied := c.recWords
+	if c.sparse && c.booted[ind&1] {
+		copied = c.copyDelta(dst, src)
+	} else {
+		c.state.CopyWords(dst, c.state, src, c.recWords)
+	}
 	c.onRecCopy(tid, int(mi), int(ind))
-	c.onCopied(tid, c.recWords)
+	c.onCopied(tid, copied)
 
 	batch := c.scratch[tid][:0]
 	for q := 0; q < c.n; q++ {
@@ -308,6 +407,12 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	}
 	c.scratch[tid] = batch
 	c.onRound(tid, len(batch))
+	if c.adaptive {
+		// Combining-degree EMA feeding announceWait. Combiners are serialized
+		// by the lock, so a plain load/store pair is race-free.
+		old := c.degEMA.Load()
+		c.degEMA.Store(old - old/emaAlpha + (uint64(len(batch))<<emaShift)/emaAlpha)
+	}
 
 	env := &Env{Ctx: ctx, State: State{r: c.state, off: dst, n: c.stWords}, Combiner: tid}
 	if c.sparse {
@@ -350,6 +455,23 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 
 	mi = c.meta.Load(0)
 	return c.state.Load(c.recOff(mi) + c.retOff + tid)
+}
+
+// copyDelta brings a booted destination record up to date by copying only
+// the state lines the previous round dirtied plus the whole
+// ReturnVal/Deactivate tail (the tail must always be current before the
+// combiner gathers its batch against dst's Deactivate words). Returns the
+// number of words copied.
+func (c *PBComb) copyDelta(dst, src int) int {
+	copied := 0
+	for _, l := range c.dirtyPrev.lines {
+		off := l * pmem.LineWords
+		c.state.CopyWords(dst+off, c.state, src+off, pmem.LineWords)
+		copied += pmem.LineWords
+	}
+	tail := c.recWords - c.retOff
+	c.state.CopyWords(dst+c.retOff, c.state, src+c.retOff, tail)
+	return copied + tail
 }
 
 // persistSparse writes back the destination record incrementally: the state

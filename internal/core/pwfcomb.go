@@ -43,10 +43,55 @@ type PWFComb struct {
 	scratch  [][]Request
 	backoffs []*prim.Backoff
 
+	// Adaptive announce backoff (see Invoke): the same degree-tuned yield
+	// scheme as PBComb's, with one extra effect specific to PWFcomb. Threads
+	// that are being helped wait out whole rounds, so SC wins concentrate on
+	// the few threads that are not waiting — and a thread that wins often has
+	// private buffers nearly in sync with S, which shrinks the sparse fill
+	// and persist sets (buffer staleness, not batch size, is what dominates
+	// a wide record's per-round persistence cost).
+	adaptive bool
+	annYld   []prim.PaddedUint64 // per-thread announce-wait length, in yields (own thread only)
+	annHot   []prim.PaddedUint64 // per-thread contention flag (own thread only)
+	degEMA   atomic.Uint64       // combining-degree EMA, fixed-point <<emaShift
+
 	// Coherence hot spots: S, the announcement slots, and the records.
 	hotS   pmem.HotWord
 	hotReq []pmem.HotWord
 	hotRec []pmem.HotWord
+
+	// sparse selects sparse fills and persists (NewPWFCombSparse): a thread
+	// refreshes only the state lines that changed since its private buffer
+	// last matched some S version, and persists only the lines whose durable
+	// bytes may lag the buffer, instead of copying and writing back the whole
+	// record on every attempt. Objects must report every state write via
+	// Env.MarkDirty.
+	sparse bool
+	// lineVer[l] is (a conservative upper bound on) the stamp of the S
+	// version that last rewrote state line l. Combiners publish their dirty
+	// lines with a CAS-max *before* their SC, so any thread that syncs to a
+	// version sees at least that version's writes; losers over-publish, which
+	// only costs extra refreshes.
+	lineVer []atomic.Uint64
+	// Per private record (2n slots; the dummy is never a destination), owner
+	// thread only:
+	//
+	//	bufStamp[b] = 1 + stamp of the S version buffer b last matched
+	//	              (0 = unknown content: never synced, or re-opened);
+	//	bufDirty[b] = lines whose volatile content diverges from that version
+	//	              (own writes of lost rounds, torn fills);
+	//	unFenced[b] = lines whose durable content may lag the volatile buffer
+	//	              (everything modified since b's last pwb+pfence).
+	//
+	// All three track WHOLE-RECORD lines (tail included; protocol writes to
+	// ReturnVal/Deactivate/Index/pid are marked explicitly). bufDirty drives
+	// the fill (copy set = lines the chain changed since bufStamp, plus
+	// bufDirty); unFenced drives the persist (pwb set = unFenced merged with
+	// bufDirty), which restores durable == volatile before the SC can
+	// install the record.
+	bufStamp []uint64
+	bufDirty []*dirtySet
+	unFenced []*dirtySet
 
 	// PreServe, when non-nil, runs after a thread has validated its private
 	// copy and before it serves requests on it. PWFqueue uses it to link the
@@ -64,6 +109,23 @@ type PWFComb struct {
 // NewPWFComb creates (or re-opens after a crash) a PWFComb instance for n
 // threads driving the given sequential object.
 func NewPWFComb(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
+	return newPWFComb(h, name, n, obj, false)
+}
+
+// NewPWFCombSparse creates a PWFComb instance with sparse fills and sparse
+// record persistence: each attempt copies only the record lines that changed
+// since the thread's private buffer was last in sync with S (tracked with
+// per-line version stamps) and persists only the lines whose durable bytes
+// may be stale — including the ReturnVal/Deactivate/Index tail, where only
+// the entries of threads a round actually served change. The object must
+// call Env.MarkDirty for every state word it stores. This is the wait-free
+// counterpart of NewPBCombSparse for large states, where every competing
+// thread paying a whole-record copy and write-back per attempt dominates.
+func NewPWFCombSparse(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
+	return newPWFComb(h, name, n, obj, true)
+}
+
+func newPWFComb(h *pmem.Heap, name string, n int, obj Object, sparse bool) *PWFComb {
 	if n <= 0 {
 		panic("core: need at least one thread")
 	}
@@ -87,10 +149,29 @@ func NewPWFComb(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
 	c.ctxs = make([]*pmem.Ctx, n)
 	c.scratch = make([][]Request, n)
 	c.backoffs = make([]*prim.Backoff, n)
+	c.adaptive = true
+	c.annYld = make([]prim.PaddedUint64, n)
+	c.annHot = make([]prim.PaddedUint64, n)
 	for i := 0; i < n; i++ {
 		c.ctxs[i] = h.NewCtx()
 		c.scratch[i] = make([]Request, 0, n)
 		c.backoffs[i] = prim.NewBackoff(16, 4096, int64(i)+1)
+		c.annYld[i].V.Store(annYieldMin)
+	}
+	if sparse {
+		c.sparse = true
+		// The version/dirty tracking spans the WHOLE record (recWords is
+		// line-aligned), tail included: ReturnVal/Deactivate/Index/pid lines
+		// change only for the threads a round actually serves, so persisting
+		// the full tail every attempt would dominate wide-record workloads.
+		c.lineVer = make([]atomic.Uint64, c.recWords/pmem.LineWords)
+		c.bufStamp = make([]uint64, 2*n)
+		c.bufDirty = make([]*dirtySet, 2*n)
+		c.unFenced = make([]*dirtySet, 2*n)
+		for b := range c.bufDirty {
+			c.bufDirty[b] = newDirtySet(c.recWords)
+			c.unFenced[b] = newDirtySet(c.recWords)
+		}
 	}
 
 	if c.sreg.Load(pmem.LineWords) != initMagic {
@@ -138,8 +219,56 @@ func (c *PWFComb) CurrentState() State {
 // the same contract as PBComb.Invoke.
 func (c *PWFComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
 	c.req[tid].announce(op, a0, a1, seq&1)
-	c.backoffs[tid].Wait()
+	if c.adaptive && c.n > 1 {
+		c.announceWaitW(tid, seq&1)
+	} else {
+		c.backoffs[tid].Wait()
+	}
 	return c.perform(tid)
+}
+
+// SetAdaptiveBackoff enables or disables the adaptive announce backoff
+// (enabled by default). Disabled, Invoke falls back to the fixed seeded
+// backoff between announcing and combining, the pre-backoff behavior.
+func (c *PWFComb) SetAdaptiveBackoff(on bool) { c.adaptive = on }
+
+// announceWaitW is PBComb.announceWait for the wait-free protocol: a bounded
+// number of scheduler yields between announcing and combining, grown only
+// under contention while observed rounds still have headroom, with an early
+// exit the moment some combiner deactivates tid's request. The served check
+// reads the record under S without validating — a stale read can only cause
+// a premature exit, and perform re-checks with a validated read.
+func (c *PWFComb) announceWaitW(tid int, myActivate uint64) {
+	target := uint64(c.n)
+	if target > annDegreeCap {
+		target = annDegreeCap
+	}
+	w := c.annYld[tid].V.Load()
+	if c.annHot[tid].V.Load() != 0 && c.degEMA.Load() < (target<<emaShift)*7/8 {
+		if w*2 <= 4*target {
+			w *= 2
+		}
+	} else if w/2 >= annYieldMin {
+		w /= 2
+	}
+	c.annYld[tid].V.Store(w)
+	c.annHot[tid].V.Store(0)
+	for i := uint64(0); i < w; i++ {
+		prim.Pause()
+		slot, _ := prim.UnpackVersioned(c.sv.LL())
+		if c.state.Load(c.recOff(slot)+c.deactOff+tid) == myActivate {
+			return // served while waiting; perform's entry check completes it
+		}
+	}
+}
+
+// noteContentionW records that tid lost a round (failed SC or post-serve
+// validation) or was served by another combiner; consumed by the next
+// announceWaitW. tid-local, so a plain store suffices.
+func (c *PWFComb) noteContentionW(tid int) {
+	if c.adaptive {
+		c.annHot[tid].V.Store(1)
+	}
 }
 
 // Recover is the recovery function for thread tid's interrupted operation.
@@ -195,7 +324,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 	served := c.readRecWord(tid, c.deactOff+tid) == myActivate
 	for l := 0; l < 2 && !served; l++ {
 		sv := c.sv.LL()
-		slot, _ := prim.UnpackVersioned(sv)
+		slot, stamp := prim.UnpackVersioned(sv)
 		c.h.Touch(&c.hotS, tid)
 		c.h.Touch(&c.hotRec[slot], tid)
 		src := c.recOff(slot)
@@ -203,9 +332,14 @@ func (c *PWFComb) perform(tid int) uint64 {
 		my := tid*2 + int(ind&1)
 		dst := c.recOff(my)
 
-		c.state.CopyWords(dst, c.state, src, c.recWords)
+		copied := c.recWords
+		if c.sparse {
+			copied = c.sparseFill(my, dst, src, stamp)
+		} else {
+			c.state.CopyWords(dst, c.state, src, c.recWords)
+		}
 		c.onRecCopyW(tid, slot, my)
-		c.onCopiedW(tid, c.recWords)
+		c.onCopiedW(tid, copied)
 		srcPid := int(c.state.Load(dst+c.pidOff) % uint64(c.n))
 		c.state.Store(dst+c.pidOff, uint64(tid))
 
@@ -217,10 +351,24 @@ func (c *PWFComb) perform(tid int) uint64 {
 		}
 		if !c.sv.VL(sv) {
 			c.onSCFailW(tid)
+			c.noteContentionW(tid)
 			continue
 		}
 
 		env := &Env{Ctx: ctx, State: State{r: c.state, off: dst, n: c.stWords}, Combiner: tid}
+		if c.sparse {
+			// The validated fill proved the buffer now matches version
+			// `stamp` exactly: record the sync and clear the divergence set,
+			// which from here on collects only this round's own writes (via
+			// env.MarkDirty and the explicit tail marks below). unFenced is
+			// NOT cleared — only a pfence does that. The pid store above
+			// already diverged the buffer from the synced version, so its
+			// line goes straight back in.
+			c.bufStamp[my] = stamp + 1
+			c.bufDirty[my].reset()
+			c.bufDirty[my].addLine(c.pidOff / pmem.LineWords)
+			env.dirty = c.bufDirty[my]
+		}
 		if c.PreServe != nil {
 			c.PreServe(env)
 		}
@@ -258,18 +406,51 @@ func (c *PWFComb) perform(tid int) uint64 {
 			q := int(batch[i].Tid)
 			c.state.Store(dst+c.retOff+q, batch[i].Ret)
 			c.state.Store(dst+c.deactOff+q, batch[i].act)
+			if c.sparse {
+				d := c.bufDirty[my]
+				d.addLine((c.retOff + q) / pmem.LineWords)
+				d.addLine((c.deactOff + q) / pmem.LineWords)
+			}
 			atomic.StoreUint64(&c.combRound[tid*c.n+q], lval)
 		}
 
 		if c.sv.VL(sv) {
 			c.state.Store(dst+c.idxOff+tid, 1-(ind&1))
-			ctx.PWB(c.state, dst, c.recWords)
+			if c.sparse {
+				c.bufDirty[my].addLine((c.idxOff + tid) / pmem.LineWords)
+				// Publish this round's dirty lines before the SC so any
+				// thread that later syncs to version stamp+1 refreshes them;
+				// if the SC loses, the publication merely over-approximates.
+				c.publishLines(stamp+1, c.bufDirty[my].lines)
+				c.sparsePWB(ctx, my, dst)
+			} else {
+				ctx.PWB(c.state, dst, c.recWords)
+			}
 			ctx.PFence()
+			if c.sparse {
+				// The fence made every pending buffer line durable:
+				// durable == volatile again for the whole record.
+				c.unFenced[my].reset()
+			}
 			c.flush[tid].V.Store(lval)
 			c.h.Touch(&c.hotS, tid)
 			if c.sv.SC(sv, my) {
+				if c.sparse {
+					// The buffer is now the record at version stamp+1 and is
+					// read-only until S moves off it, so it matches that
+					// version exactly.
+					c.bufStamp[my] = stamp + 2
+					c.bufDirty[my].reset()
+				}
 				c.onSWriteW(tid)
 				c.onRoundW(tid, len(batch))
+				if c.adaptive {
+					// Combining-degree EMA feeding announceWaitW. Round wins
+					// are serialized by S's version, so concurrent updates are
+					// rare; a lost update only delays the EMA by one round.
+					old := c.degEMA.Load()
+					c.degEMA.Store(old - old/emaAlpha + (uint64(len(batch))<<emaShift)/emaAlpha)
+				}
 				ctx.PWBLine(c.sreg, 0)
 				ctx.PSync()
 				c.flush[tid].V.CompareAndSwap(lval, lval+1)
@@ -279,6 +460,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 				return c.readRecWord(tid, c.retOff+tid)
 			}
 			c.onSCFailW(tid)
+			c.noteContentionW(tid)
 			if c.PostSC != nil {
 				c.PostSC(env, false)
 			}
@@ -287,6 +469,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 			// exactly like a failed SC, so side effects must roll back too
 			// (a missing rollback here leaks every node the batch allocated).
 			c.onSCFailW(tid)
+			c.noteContentionW(tid)
 			if c.PostSC != nil {
 				c.PostSC(env, false)
 			}
@@ -314,7 +497,77 @@ func (c *PWFComb) perform(tid int) uint64 {
 		c.flush[cpid].V.CompareAndSwap(lval, lval+1)
 	}
 	c.onHelpedW(tid)
+	// Being served by another thread's combining round is itself the
+	// contention signal the announce backoff keys on.
+	c.noteContentionW(tid)
 	return c.readRecWord(tid, c.retOff+tid)
+}
+
+// sparseFill brings private buffer my up to date with the record at src
+// (the S record at version stamp) by copying only the state lines that may
+// differ — the lines the chain rewrote after the buffer's last sync
+// (lineVer[l] > base) plus the buffer's own divergence (bufDirty) — and the
+// whole tail. A buffer with unknown content (bufStamp == 0) is copied in
+// full once. Refreshed lines are recorded in bufDirty *before* the copy so
+// that a torn fill (S moved mid-copy; the caller's VL fails) leaves the
+// divergence set correct, and in unFenced because the copy makes their
+// durable bytes stale. Returns the number of words copied.
+func (c *PWFComb) sparseFill(my, dst, src int, stamp uint64) int {
+	d, u := c.bufDirty[my], c.unFenced[my]
+	pidLine := c.pidOff / pmem.LineWords
+	if c.bufStamp[my] == 0 {
+		c.state.CopyWords(dst, c.state, src, c.recWords)
+		for l := range c.lineVer {
+			d.addLine(l)
+			u.addLine(l)
+		}
+		return c.recWords
+	}
+	copied := 0
+	base := c.bufStamp[my] - 1
+	for l := range c.lineVer {
+		if c.lineVer[l].Load() > base || d.has(l) {
+			off := l * pmem.LineWords
+			d.addLine(l)
+			u.addLine(l)
+			c.state.CopyWords(dst+off, c.state, src+off, pmem.LineWords)
+			copied += pmem.LineWords
+		}
+	}
+	// The caller stores its pid into the buffer immediately after the fill:
+	// account for that write now so the line is re-synced by later fills and
+	// reaches persistence.
+	d.addLine(pidLine)
+	u.addLine(pidLine)
+	return copied
+}
+
+// publishLines raises lineVer for every line in lines to at least ver with
+// a CAS-max, so stamps never regress even when a slow loser publishes late.
+func (c *PWFComb) publishLines(ver uint64, lines []int) {
+	for _, l := range lines {
+		for {
+			old := c.lineVer[l].Load()
+			if old >= ver || c.lineVer[l].CompareAndSwap(old, ver) {
+				break
+			}
+		}
+	}
+}
+
+// sparsePWB writes back every buffer line whose durable bytes may lag the
+// volatile buffer — the accumulated unFenced set (fills and writes of this
+// and any aborted earlier attempts) merged with this round's own writes,
+// tail lines included — so the caller's pfence restores durable == volatile
+// before the SC can make the record reachable.
+func (c *PWFComb) sparsePWB(ctx *pmem.Ctx, my, dst int) {
+	u := c.unFenced[my]
+	for _, l := range c.bufDirty[my].lines {
+		u.addLine(l)
+	}
+	for _, l := range u.lines {
+		ctx.PWB(c.state, dst+l*pmem.LineWords, pmem.LineWords)
+	}
 }
 
 // Instrumentation forwarders for PWFComb.

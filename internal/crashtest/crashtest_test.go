@@ -107,3 +107,19 @@ func TestFuzzMapPWF(t *testing.T) {
 		}
 	}
 }
+
+func TestFuzzRegisterSparsePB(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzRegister(false, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzRegisterSparsePWF(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := FuzzRegister(true, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -18,8 +18,9 @@ type pendingOp struct {
 	active bool
 	op     uint64
 	a0     uint64
+	a1     uint64
 	seq    uint64
-	_      [4]uint64
+	_      [3]uint64
 }
 
 // counterDriver targets a fetch&add counter on either protocol: every
@@ -540,6 +541,14 @@ func FuzzHeap(kind heap.Kind, bound, n, opsPerThread, rounds int, seed int64) (R
 // FuzzCounter crash-fuzzes a fetch&add counter on either protocol.
 func FuzzCounter(waitFree bool, n, opsPerThread, rounds int, seed int64) (Report, error) {
 	rep, f := Fuzz(func(s int64) Driver { return NewCounterDriver(waitFree, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
+}
+
+// FuzzRegister crash-fuzzes the sparse register-file target (delta copy and
+// merged-dirty-set persists) on either protocol.
+func FuzzRegister(waitFree bool, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rep, f := Fuzz(func(s int64) Driver { return NewRegisterDriver(waitFree, n, s) },
 		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
 	return rep, f.ErrOrNil()
 }

@@ -28,6 +28,12 @@ func enumTargets(n int) map[string]func(seed int64) Driver {
 		"heap/PWFheap":    func(s int64) Driver { return NewHeapDriver(heap.WaitFree, 256, n, s) },
 		"map/PBmap":       func(s int64) Driver { return NewMapDriver(hashmap.Blocking, 4, n, s) },
 		"map/PWFmap":      func(s int64) Driver { return NewMapDriver(hashmap.WaitFree, 4, n, s) },
+
+		// Sparse-protocol register targets: a wide multi-line state whose
+		// persists go through the merged dirty sets, so enumeration crashes
+		// inside the delta persist itself.
+		"register/PBsparse":  func(s int64) Driver { return NewRegisterDriver(false, n, s) },
+		"register/PWFsparse": func(s int64) Driver { return NewRegisterDriver(true, n, s) },
 	}
 }
 

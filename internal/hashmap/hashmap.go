@@ -160,8 +160,21 @@ const (
 )
 
 // New creates (or re-opens after a crash) a recoverable hash map for n
-// threads with the given shard count and total slot capacity.
+// threads with the given shard count and total slot capacity. Both kinds use
+// sparse combining instances: shards copy and persist only the lines each
+// round dirties, not the whole table.
 func New(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Map {
+	return newMap(h, name, n, kind, nshards, capacity, true)
+}
+
+// NewDense is New with dense (whole-record) copy and persistence — the
+// baseline the sparse-vs-dense equivalence tests and benchmarks compare
+// against.
+func NewDense(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Map {
+	return newMap(h, name, n, kind, nshards, capacity, false)
+}
+
+func newMap(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int, sparse bool) *Map {
 	if nshards <= 0 {
 		nshards = 8
 	}
@@ -174,13 +187,15 @@ func New(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Ma
 	obj := shardObj{slots: m.slots}
 	for s := 0; s < nshards; s++ {
 		sname := fmt.Sprintf("%s/shard%d", name, s)
-		if kind == WaitFree {
-			// PWFcomb keeps whole-record persists (every pretend-combiner
-			// would need its own dirty bookkeeping); size shards accordingly.
+		switch {
+		case kind == WaitFree && sparse:
+			m.shards = append(m.shards, core.NewPWFCombSparse(h, sname, n, obj))
+		case kind == WaitFree:
 			m.shards = append(m.shards, core.NewPWFComb(h, sname, n, obj))
-		} else {
-			// Blocking shards persist only the lines their batch dirtied.
+		case sparse:
 			m.shards = append(m.shards, core.NewPBCombSparse(h, sname, n, obj))
+		default:
+			m.shards = append(m.shards, core.NewPBComb(h, sname, n, obj))
 		}
 	}
 	return m

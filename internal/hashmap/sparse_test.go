@@ -1,0 +1,72 @@
+package hashmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcomb/internal/pmem"
+)
+
+// mapContents flattens a map's durable pairs for comparison.
+func mapContents(m *Map) map[uint64]uint64 {
+	out := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		out[k] = v
+		return true
+	})
+	return out
+}
+
+// TestSparseMatchesDenseMap drives the same random op sequence into a
+// sparse (default) and a dense map of each kind, in rounds separated by
+// simulated crashes: every return value must agree, and after every
+// crash/re-open the two durable states must hold exactly the same pairs.
+func TestSparseMatchesDenseMap(t *testing.T) {
+	kinds := []struct {
+		name string
+		kind Kind
+	}{{"PBmap", Blocking}, {"PWFmap", WaitFree}}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			h1, h2 := newHeap(), newHeap()
+			a := New(h1, "s", 1, k.kind, 4, 4*64)
+			b := NewDense(h2, "d", 1, k.kind, 4, 4*64)
+			rng := rand.New(rand.NewSource(int64(k.kind) + 40))
+			for round := 0; round < 4; round++ {
+				for i := 0; i < 400; i++ {
+					key := rng.Uint64()%96 + 1
+					val := rng.Uint64()
+					var ra, rb uint64
+					switch rng.Intn(3) {
+					case 0:
+						ra = a.invoke(0, OpPut, key, val)
+						rb = b.invoke(0, OpPut, key, val)
+					case 1:
+						ra = a.invoke(0, OpGet, key, 0)
+						rb = b.invoke(0, OpGet, key, 0)
+					default:
+						ra = a.invoke(0, OpDel, key, 0)
+						rb = b.invoke(0, OpDel, key, 0)
+					}
+					if ra != rb {
+						t.Fatalf("round %d op %d: sparse returned %d, dense %d", round, i, ra, rb)
+					}
+				}
+				h1.Crash(pmem.DropUnfenced, int64(round)+1)
+				h2.Crash(pmem.DropUnfenced, int64(round)+1)
+				a = New(h1, "s", 1, k.kind, 4, 4*64)
+				b = NewDense(h2, "d", 1, k.kind, 4, 4*64)
+				ca, cb := mapContents(a), mapContents(b)
+				if len(ca) != len(cb) {
+					t.Fatalf("round %d: durable sizes diverge: %d vs %d", round, len(ca), len(cb))
+				}
+				for key, va := range ca {
+					if vb, ok := cb[key]; !ok || vb != va {
+						t.Fatalf("round %d: key %d = %d sparse, %d (present=%v) dense",
+							round, key, va, vb, ok)
+					}
+				}
+			}
+		})
+	}
+}

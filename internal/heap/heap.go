@@ -153,6 +153,17 @@ func NewSparse(h *pmem.Heap, name string, n int, bound int) *Heap {
 	return &Heap{bound: bound, comb: core.NewPBCombSparse(h, name, n, obj{bound: bound})}
 }
 
+// NewSparseWaitFree is the PWFheap counterpart of NewSparse: every
+// pretend-combiner refreshes and persists only the sift paths dirtied since
+// its private buffer last matched S, instead of the whole key array per
+// attempt.
+func NewSparseWaitFree(h *pmem.Heap, name string, n int, bound int) *Heap {
+	if bound <= 0 {
+		panic("heap: bound must be positive")
+	}
+	return &Heap{bound: bound, comb: core.NewPWFCombSparse(h, name, n, obj{bound: bound})}
+}
+
 // Bound returns the heap's capacity.
 func (h *Heap) Bound() int { return h.bound }
 

@@ -5,14 +5,35 @@ package pmem
 // consecutively from a pool chunk therefore share write-backs, which is how
 // the paper's allocation discipline turns persistence principle 3 into
 // fewer pwbs.
+//
+// Membership is a per-region line bitmap, so Add costs O(lines touched) and
+// Reset/Flush cost O(distinct lines recorded) — a batch touching w distinct
+// lines pays O(w), not the O(w²) a linear membership scan degrades to on
+// wide batches (see BenchmarkFlushSetAdd).
 type FlushSet struct {
 	r     *Region
 	lines []int
+	mark  []uint64 // bitmap over the region's lines; bits mirror f.lines
 }
 
 // Reset prepares the set for a new batch against region r.
 func (f *FlushSet) Reset(r *Region) {
+	f.clear()
 	f.r = r
+	want := (r.Len() + LineWords - 1) / LineWords
+	want = (want + 63) / 64
+	if cap(f.mark) < want {
+		f.mark = make([]uint64, want)
+	} else {
+		f.mark = f.mark[:want]
+	}
+}
+
+// clear unmarks every recorded line (O(distinct lines)) and empties the set.
+func (f *FlushSet) clear() {
+	for _, li := range f.lines {
+		f.mark[li>>6] &^= 1 << (uint(li) & 63)
+	}
 	f.lines = f.lines[:0]
 }
 
@@ -20,14 +41,8 @@ func (f *FlushSet) Reset(r *Region) {
 func (f *FlushSet) Add(off, n int) {
 	lo, hi := lineRange(off, n)
 	for li := lo; li <= hi; li++ {
-		found := false
-		for _, l := range f.lines {
-			if l == li {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if f.mark[li>>6]&(1<<(uint(li)&63)) == 0 {
+			f.mark[li>>6] |= 1 << (uint(li) & 63)
 			f.lines = append(f.lines, li)
 		}
 	}
@@ -41,5 +56,5 @@ func (f *FlushSet) Flush(ctx *Ctx) {
 	for _, li := range f.lines {
 		ctx.PWB(f.r, li*LineWords, 1)
 	}
-	f.lines = f.lines[:0]
+	f.clear()
 }

@@ -47,6 +47,7 @@ func (o *pbEnqObj) ApplyBatch(env *core.Env, reqs []core.Request) {
 		r.Ret = EnqOK
 	}
 	env.State.Store(0, tail)
+	env.MarkDirty(0, 1)
 	sc.fs.Flush(env.Ctx)
 }
 
@@ -94,6 +95,7 @@ func (o *pbDeqObj) ApplyBatch(env *core.Env, reqs []core.Request) {
 		head = next
 	}
 	env.State.Store(0, head)
+	env.MarkDirty(0, 1)
 }
 
 // commit reclaims the round's removed nodes once their removal is durable

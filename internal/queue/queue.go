@@ -56,6 +56,11 @@ type Options struct {
 	Capacity int
 	// ChunkSize is the per-thread allocation chunk; 0 selects the default.
 	ChunkSize int
+	// Sparse builds both combining instances on the sparse variants
+	// (dirty-line copy and persistence). The queue states are 1–3 words, so
+	// the win is small; the flag keeps the queue API uniform with the other
+	// structures.
+	Sparse bool
 }
 
 const (
@@ -109,8 +114,12 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
 	case Blocking:
 		eo := &pbEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
 		do := &pbDeqObj{q: q, dummy: dummy, recycle: opt.Recycling, per: make([]roundScratch, n)}
-		ie := core.NewPBComb(h, name+"/enq", n, eo)
-		id := core.NewPBComb(h, name+"/deq", n, do)
+		mk := core.NewPBComb
+		if opt.Sparse {
+			mk = core.NewPBCombSparse
+		}
+		ie := mk(h, name+"/enq", n, eo)
+		id := mk(h, name+"/deq", n, do)
 		ie.PostSync = func(env *core.Env) {
 			// The round's nodes are durable: expose them to dequeuers.
 			q.oldTail.Store(env.State.Load(0))
@@ -122,8 +131,12 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
 	case WaitFree:
 		eo := &wfEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
 		do := &wfDeqObj{q: q, dummy: dummy}
-		ie := core.NewPWFComb(h, name+"/enq", n, eo)
-		id := core.NewPWFComb(h, name+"/deq", n, do)
+		mk := core.NewPWFComb
+		if opt.Sparse {
+			mk = core.NewPWFCombSparse
+		}
+		ie := mk(h, name+"/enq", n, eo)
+		id := mk(h, name+"/deq", n, do)
 		ie.PostSC = func(env *core.Env, ok bool) { eo.commit(env.Combiner, ok) }
 		do.ie = ie
 		q.enq, q.deq = ie, id

@@ -54,6 +54,10 @@ type Options struct {
 	Capacity int
 	// ChunkSize is the per-thread allocation chunk; 0 selects the default.
 	ChunkSize int
+	// Sparse builds the stack on the sparse combining variants (dirty-line
+	// copy and persistence). With a one-word state the win is small but the
+	// flag keeps the stack API uniform with the other structures.
+	Sparse bool
 }
 
 const (
@@ -144,6 +148,7 @@ func (o *obj) ApplyBatch(env *core.Env, reqs []core.Request) {
 		}
 	}
 	env.State.Store(0, top)
+	env.MarkDirty(0, 1)
 	sc.fs.Flush(env.Ctx)
 }
 
@@ -207,11 +212,21 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Stack {
 	s := &Stack{o: o}
 	switch kind {
 	case Blocking:
-		c := core.NewPBComb(h, name, n, o)
+		var c *core.PBComb
+		if opt.Sparse {
+			c = core.NewPBCombSparse(h, name, n, o)
+		} else {
+			c = core.NewPBComb(h, name, n, o)
+		}
 		c.PostSync = func(env *core.Env) { o.commit(env.Combiner, true) }
 		s.comb = c
 	case WaitFree:
-		c := core.NewPWFComb(h, name, n, o)
+		var c *core.PWFComb
+		if opt.Sparse {
+			c = core.NewPWFCombSparse(h, name, n, o)
+		} else {
+			c = core.NewPWFComb(h, name, n, o)
+		}
 		c.PostSC = func(env *core.Env, ok bool) { o.commit(env.Combiner, ok) }
 		s.comb = c
 	default:
