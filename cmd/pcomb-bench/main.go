@@ -29,10 +29,11 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk all")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba all")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
+		batches  = flag.String("batch", "1,8,32", "comma-separated batch sizes for -figure ba (1 = scalar baseline)")
 		t1n      = flag.Int("t1-threads", 128, "thread count for Table 1")
 		pwbNs    = flag.Int("pwb-ns", pmem.DefaultPwbNs, "simulated pwb cost (ns)")
 		pfenceNs = flag.Int("pfence-ns", pmem.DefaultPfenceNs, "simulated pfence cost (ns)")
@@ -62,6 +63,15 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Threads = append(cfg.Threads, n)
+	}
+	var batchSizes []int
+	for _, part := range strings.Split(*batches, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || b <= 0 {
+			fmt.Fprintf(os.Stderr, "bad batch size %q\n", part)
+			os.Exit(2)
+		}
+		batchSizes = append(batchSizes, b)
 	}
 
 	// Streaming export: every measured point becomes one JSONL record the
@@ -180,9 +190,20 @@ func main() {
 				harness.PrintSeries(os.Stdout, "Extensions bk: adaptive announce backoff", "comb-degree-mean", series)
 			}
 		},
+		"ba": func() {
+			series := harness.FigBatch(cfg, batchSizes)
+			emit("Extensions ba: vectorized announcements by batch size", "Mops/s", series)
+			if *format == "table" {
+				harness.PrintSeries(os.Stdout, "Extensions ba: vectorized announcements", "pwbs/op", series)
+				if *metrics {
+					harness.PrintSeries(os.Stdout, "Extensions ba: vectorized announcements", "comb-rounds/op", series)
+					harness.PrintSeries(os.Stdout, "Extensions ba: vectorized announcements", "batch-size-mean", series)
+				}
+			}
+		},
 	}
 
-	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk"}
+	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba"}
 	do := func(f string) {
 		curFig = f // tags the JSONL records emitted while this figure runs
 		runs[f]()

@@ -85,6 +85,12 @@ func targets() []target {
 		{"register/PWFsparse", func(n int) func(int64) crashtest.Driver {
 			return func(s int64) crashtest.Driver { return crashtest.NewRegisterDriver(true, n, s) }
 		}},
+		{"register/PBbatch", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewBatchRegisterDriver(false, n, s) }
+		}},
+		{"register/PWFbatch", func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewBatchRegisterDriver(true, n, s) }
+		}},
 	}
 }
 

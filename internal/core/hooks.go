@@ -19,6 +19,15 @@ type CombTracker interface {
 	Copied(tid, words int)
 }
 
+// VecTracker is an optional extension of CombTracker: implementations also
+// see the size of every vectorized announcement (recorded once per
+// announcement, on the announcing side — combiner-side gathers may observe
+// the same vector several times under PWFcomb's pretend-combiner races).
+type VecTracker interface {
+	// BatchSize reports that tid announced a vector of the given size.
+	BatchSize(tid, size int)
+}
+
 // CombTrackable is satisfied by protocol instances (and data structures
 // forwarding to them) that can report combining statistics.
 type CombTrackable interface {
@@ -26,12 +35,32 @@ type CombTrackable interface {
 }
 
 // SetCombTracker installs combining-level instrumentation on a PBComb
-// instance; nil uninstalls it.
-func (c *PBComb) SetCombTracker(t CombTracker) { c.cstat = t }
+// instance; nil uninstalls it. Trackers that also implement VecTracker
+// additionally receive per-announcement batch sizes.
+func (c *PBComb) SetCombTracker(t CombTracker) {
+	c.cstat = t
+	c.vstat, _ = t.(VecTracker)
+}
 
 // SetCombTracker installs combining-level instrumentation on a PWFComb
-// instance; nil uninstalls it.
-func (c *PWFComb) SetCombTracker(t CombTracker) { c.cstat = t }
+// instance; nil uninstalls it. Trackers that also implement VecTracker
+// additionally receive per-announcement batch sizes.
+func (c *PWFComb) SetCombTracker(t CombTracker) {
+	c.cstat = t
+	c.vstat, _ = t.(VecTracker)
+}
+
+func (c *PBComb) onBatchSize(tid, size int) {
+	if c.vstat != nil {
+		c.vstat.BatchSize(tid, size)
+	}
+}
+
+func (c *PWFComb) onBatchSize(tid, size int) {
+	if c.vstat != nil {
+		c.vstat.BatchSize(tid, size)
+	}
+}
 
 func (c *PBComb) onRound(tid, degree int) {
 	if c.cstat != nil {

@@ -55,6 +55,73 @@ type Request struct {
 	Ret uint64 // response, filled in by Apply/ApplyBatch
 
 	act uint64 // captured activate bit; consumed by the combiner
+	vi  int    // index within the announcing thread's vector (0 for scalars)
+}
+
+// VecIndex returns the request's position within its thread's vectorized
+// announcement (0 for scalar invocations). BatchObjects that reorder or pair
+// requests across the batch — the stack's elimination, say — must preserve
+// the relative order of requests sharing a Tid, because a vector's ops carry
+// the announcing thread's program order.
+func (r *Request) VecIndex() int { return r.vi }
+
+// VecOp is one operation of a vectorized announcement (see PublishVec /
+// PerformVec): up to VecCap of them are published in the announcing thread's
+// persistent argument ring and served with a single slot toggle.
+type VecOp struct {
+	Op uint64
+	A0 uint64
+	A1 uint64
+}
+
+// CombOpts configures protocol construction beyond the defaults. The options
+// are part of the instance's persistent layout: an instance must be re-opened
+// after a crash with the same options it was created with (like the object's
+// StateWords).
+type CombOpts struct {
+	// Sparse selects sparse (dirty-delta) copy and persistence; the object
+	// must report every state write via Env.MarkDirty.
+	Sparse bool
+	// DurableOnly selects PBcomb's durably-linearizable-only variant (null
+	// recovery). PBComb only.
+	DurableOnly bool
+	// VecCap is the maximum number of operations a thread can publish in one
+	// vectorized announcement; 0 or 1 builds a scalar-only instance with the
+	// classic record layout.
+	VecCap int
+}
+
+// VecProtocol is satisfied by protocol instances built with CombOpts.VecCap
+// > 1: they accept vectorized announcements of up to VecCap operations per
+// slot toggle, amortizing the announce handshake and the combining round
+// over the whole vector.
+type VecProtocol interface {
+	Protocol
+	// VecCap returns the instance's vector capacity (1 for scalar-only).
+	VecCap() int
+	// PublishVec writes ops into tid's persistent argument ring and makes
+	// them durable (pwb+pfence) without announcing. Callers that must order
+	// an external in-progress record between argument durability and the
+	// announcement (the sysArea pattern) use PublishVec + PerformVec;
+	// everyone else calls InvokeVec.
+	PublishVec(tid int, ops []VecOp)
+	// PerformVec announces the cnt ring operations published by PublishVec
+	// with one slot toggle, waits until a combiner has served the whole
+	// vector, and copies the per-op responses into rets[:cnt]. seq follows
+	// the same per-thread contract as Invoke (one number per announcement,
+	// not per op).
+	PerformVec(tid, cnt int, seq uint64, rets []uint64)
+	// InvokeVec is PublishVec followed by PerformVec.
+	InvokeVec(tid int, ops []VecOp, seq uint64, rets []uint64)
+	// RecoverVec is the recovery function for tid's interrupted vector: the
+	// caller re-supplies the original ops and seq (the ring itself may be
+	// torn if the crash hit mid-publish), and RecoverVec re-executes the
+	// vector or fetches its responses — never both.
+	RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64)
+	// VecArg reads entry i of tid's argument ring (recovery reporting: the
+	// ring is intact whenever an external record ordered after PublishVec
+	// says a vector was in flight).
+	VecArg(tid, i int) VecOp
 }
 
 // Env is the execution environment a combiner passes to the object while
@@ -183,6 +250,10 @@ type reqSlot struct {
 const (
 	ctlActivateBit = 1 << 0
 	ctlValidBit    = 1 << 1
+	// Bits above ctlCountShift carry the vector length of a vectorized
+	// announcement; 0 marks a scalar announcement whose arguments live in
+	// the slot itself rather than the argument ring.
+	ctlCountShift = 2
 )
 
 func packCtl(activate uint64, valid bool) uint64 {
@@ -196,12 +267,23 @@ func packCtl(activate uint64, valid bool) uint64 {
 func ctlActivate(ctl uint64) uint64 { return ctl & 1 }
 func ctlValid(ctl uint64) bool      { return ctl&ctlValidBit != 0 }
 
+// ctlCount returns the announced vector length, or 0 for a scalar
+// announcement.
+func ctlCount(ctl uint64) int { return int(ctl >> ctlCountShift) }
+
 // announce publishes a request in the slot.
 func (s *reqSlot) announce(op, a0, a1, activate uint64) {
 	s.op.Store(op)
 	s.a0.Store(a0)
 	s.a1.Store(a1)
 	s.ctl.Store(packCtl(activate, true))
+}
+
+// announceVec publishes a vectorized announcement: the arguments are already
+// durable in the thread's ring, so only the control word is written. The
+// single atomic store transfers (activate, count) consistently to combiners.
+func (s *reqSlot) announceVec(cnt int, activate uint64) {
+	s.ctl.Store(packCtl(activate, true) | uint64(cnt)<<ctlCountShift)
 }
 
 // roundUpLine rounds n up to a whole number of cache lines so consecutive

@@ -25,11 +25,21 @@ type PBComb struct {
 
 	recWords int // words per StateRec (line-aligned)
 	stWords  int
-	retOff   int // offset of ReturnVal within a record
+	retOff   int // offset of ReturnVal within a record (vcap words per thread)
 	deactOff int // offset of Deactivate within a record
 
 	state *pmem.Region // 2 records
 	meta  *pmem.Region // word 0: MIndex; word LineWords: init magic
+
+	// Vectorized announcements (CombOpts.VecCap > 1): vec is the per-thread
+	// persistent argument ring — vcap (op, a0, a1) triples per thread,
+	// line-aligned — published and persisted by the owner before the slot
+	// toggle, so a combiner can drain the whole vector and recovery can
+	// re-read the arguments. The ReturnVal block widens to vcap words per
+	// thread so every op of a served vector has a persistent response slot.
+	vcap      int
+	vec       *pmem.Region
+	vecStride int
 
 	req     []reqSlot
 	lock    atomic.Uint64
@@ -80,31 +90,22 @@ type PBComb struct {
 
 	track *memmodel.Hooks
 	cstat CombTracker
+	vstat VecTracker
 }
 
 // NewPBComb creates (or, after a crash, re-opens) a PBComb instance for n
 // threads driving the given sequential object.
 func NewPBComb(h *pmem.Heap, name string, n int, obj Object) *PBComb {
-	return newPBComb(h, name, n, obj, false)
+	return NewPBCombWith(h, name, n, obj, CombOpts{})
 }
 
 // NewPBCombSparse creates a PBComb instance with sparse state persistence:
-// combiners persist only the state lines written during the last two rounds
-// plus the ReturnVal/Deactivate tail, instead of the whole record. The
-// object must call Env.MarkDirty for every state word it stores. Useful for
-// large states, where whole-record persists dominate (the size limitation
-// Section 3 discusses).
+// combiners persist only the record lines written during the last two rounds
+// instead of the whole record. The object must call Env.MarkDirty for every
+// state word it stores. Useful for large states, where whole-record persists
+// dominate (the size limitation Section 3 discusses).
 func NewPBCombSparse(h *pmem.Heap, name string, n int, obj Object) *PBComb {
-	c := newPBComb(h, name, n, obj, false)
-	c.sparse = true
-	c.dirtyCur = newDirtySet(c.stWords)
-	c.dirtyPrev = newDirtySet(c.stWords)
-	// The record MIndex pointed to at open time was fully persisted (at
-	// init or by the pfence of the round that installed it); the other
-	// record's durable contents are arbitrary and must be persisted in full
-	// the first time it is used.
-	c.booted[c.meta.Load(0)&1] = true
-	return c
+	return NewPBCombWith(h, name, n, obj, CombOpts{Sparse: true})
 }
 
 // NewPBCombDurable creates the durably-linearizable-only variant: it
@@ -113,21 +114,32 @@ func NewPBCombSparse(h *pmem.Heap, name string, n int, obj Object) *PBComb {
 // some prefix of completed operations, but responses of interrupted
 // operations are not recoverable and Recover panics.
 func NewPBCombDurable(h *pmem.Heap, name string, n int, obj Object) *PBComb {
-	return newPBComb(h, name, n, obj, true)
+	return NewPBCombWith(h, name, n, obj, CombOpts{DurableOnly: true})
 }
 
-func newPBComb(h *pmem.Heap, name string, n int, obj Object, durableOnly bool) *PBComb {
+// NewPBCombWith creates (or re-opens) a PBComb instance with explicit
+// options; the other constructors are thin wrappers. The options shape the
+// persistent layout, so re-opening after a crash must use the same options.
+func NewPBCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *PBComb {
 	if n <= 0 {
 		panic("core: need at least one thread")
 	}
-	c := &PBComb{h: h, name: name, n: n, obj: obj, stWords: obj.StateWords(), durableOnly: durableOnly}
+	c := &PBComb{h: h, name: name, n: n, obj: obj, stWords: obj.StateWords(), durableOnly: o.DurableOnly}
 	c.bobj, _ = obj.(BatchObject)
+	c.vcap = o.VecCap
+	if c.vcap < 1 {
+		c.vcap = 1
+	}
 	c.retOff = c.stWords
-	c.deactOff = c.stWords + n
-	c.recWords = roundUpLine(c.stWords + 2*n)
+	c.deactOff = c.stWords + n*c.vcap
+	c.recWords = roundUpLine(c.deactOff + n)
 
 	c.state = h.AllocOrGet(name+"/pbcomb.state", 2*c.recWords)
 	c.meta = h.AllocOrGet(name+"/pbcomb.meta", 2*pmem.LineWords)
+	if c.vcap > 1 {
+		c.vecStride = roundUpLine(3 * c.vcap)
+		c.vec = h.AllocOrGet(name+"/pbcomb.vec", n*c.vecStride)
+	}
 
 	c.req = make([]reqSlot, n)
 	c.hotReq = make([]pmem.HotWord, n)
@@ -138,8 +150,18 @@ func newPBComb(h *pmem.Heap, name string, n int, obj Object, durableOnly bool) *
 	c.annHot = make([]prim.PaddedUint64, n)
 	for i := range c.ctxs {
 		c.ctxs[i] = h.NewCtx()
-		c.scratch[i] = make([]Request, 0, n)
+		c.scratch[i] = make([]Request, 0, n*c.vcap)
 		c.annYld[i].V.Store(annYieldMin)
+	}
+	if o.Sparse {
+		c.sparse = true
+		c.dirtyCur = newDirtySet(c.recWords)
+		c.dirtyPrev = newDirtySet(c.recWords)
+		// The record MIndex pointed to at open time was fully persisted (at
+		// init or by the pfence of the round that installed it); the other
+		// record's durable contents are arbitrary and must be persisted in
+		// full the first time it is used.
+		c.booted[c.meta.Load(0)&1] = true
 	}
 
 	if c.meta.Load(pmem.LineWords) != initMagic {
@@ -165,6 +187,13 @@ func (c *PBComb) SetTracker(t *memmodel.Tracker) {
 }
 
 func (c *PBComb) recOff(i uint64) int { return int(i) * c.recWords }
+
+// retSlot returns the record-relative offset of thread q's first ReturnVal
+// word; a vector's i-th response lands at retSlot(q)+i.
+func (c *PBComb) retSlot(q int) int { return c.retOff + q*c.vcap }
+
+// vecBase returns the ring offset of thread q's argument vector.
+func (c *PBComb) vecBase(q int) int { return q * c.vecStride }
 
 func (c *PBComb) recState(i uint64) State {
 	return State{r: c.state, off: c.recOff(i), n: c.stWords}
@@ -281,7 +310,7 @@ func (c *PBComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 	if c.state.Load(c.recOff(mi)+c.deactOff+tid) != seq&1 {
 		return c.perform(tid)
 	}
-	return c.state.Load(c.recOff(mi) + c.retOff + tid)
+	return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 }
 
 // perform is the paper's PerformReqest: acquire the lock and combine, or
@@ -311,7 +340,7 @@ func (c *PBComb) perform(tid int) uint64 {
 			// Being served by another thread's combining round is itself the
 			// contention signal the announce backoff keys on.
 			c.noteContention(tid)
-			return c.state.Load(c.recOff(mi) + c.retOff + tid)
+			return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 		}
 		lval := c.lock.Load()
 		c.onLockRead(tid)
@@ -353,7 +382,7 @@ func (c *PBComb) perform(tid int) uint64 {
 			mi = c.meta.Load(0)
 			c.onHelped(tid)
 			c.noteContention(tid)
-			return c.state.Load(c.recOff(mi) + c.retOff + tid)
+			return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 		}
 	}
 }
@@ -386,6 +415,7 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	c.onCopied(tid, copied)
 
 	batch := c.scratch[tid][:0]
+	anns := 0
 	for q := 0; q < c.n; q++ {
 		ctl := c.req[q].ctl.Load()
 		c.onReqRead(tid, q)
@@ -396,22 +426,46 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 		if act == c.state.Load(dst+c.deactOff+q) {
 			continue
 		}
+		anns++
 		c.h.Touch(&c.hotReq[q], tid)
-		batch = append(batch, Request{
-			Tid: uint64(q),
-			Op:  c.req[q].op.Load(),
-			A0:  c.req[q].a0.Load(),
-			A1:  c.req[q].a1.Load(),
-			act: act,
-		})
+		if cnt := ctlCount(ctl); cnt > 0 {
+			// Vectorized announcement: the arguments live in q's persistent
+			// ring (already durable — q fenced them before the slot toggle),
+			// one Request per entry, served in ring order so q's program
+			// order is preserved within the round.
+			vb := c.vecBase(q)
+			for i := 0; i < cnt; i++ {
+				batch = append(batch, Request{
+					Tid: uint64(q),
+					Op:  c.vec.Load(vb + 3*i),
+					A0:  c.vec.Load(vb + 3*i + 1),
+					A1:  c.vec.Load(vb + 3*i + 2),
+					act: act,
+					vi:  i,
+				})
+			}
+		} else {
+			batch = append(batch, Request{
+				Tid: uint64(q),
+				Op:  c.req[q].op.Load(),
+				A0:  c.req[q].a0.Load(),
+				A1:  c.req[q].a1.Load(),
+				act: act,
+			})
+		}
 	}
 	c.scratch[tid] = batch
 	c.onRound(tid, len(batch))
 	if c.adaptive {
-		// Combining-degree EMA feeding announceWait. Combiners are serialized
-		// by the lock, so a plain load/store pair is race-free.
+		// Combining-degree EMA feeding announceWait, counted in announcements
+		// (slot toggles gathered), not operations: a vectorized announcement
+		// carries up to VecCap ops, and measuring ops would tell the backoff a
+		// round of a few fat vectors is "already large" while most threads'
+		// slots went unserved — exactly the piling the wait exists to create.
+		// The wait's headroom target is n announcements either way. Combiners
+		// are serialized by the lock, so a plain load/store pair is race-free.
 		old := c.degEMA.Load()
-		c.degEMA.Store(old - old/emaAlpha + (uint64(len(batch))<<emaShift)/emaAlpha)
+		c.degEMA.Store(old - old/emaAlpha + (uint64(anns)<<emaShift)/emaAlpha)
 	}
 
 	env := &Env{Ctx: ctx, State: State{r: c.state, off: dst, n: c.stWords}, Combiner: tid}
@@ -427,9 +481,14 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	}
 	for i := range batch {
 		q := int(batch[i].Tid)
-		c.state.Store(dst+c.retOff+q, batch[i].Ret)
+		ret := c.retSlot(q) + batch[i].vi
+		c.state.Store(dst+ret, batch[i].Ret)
 		c.state.Store(dst+c.deactOff+q, batch[i].act)
-		c.onStateWrite(tid, dst+c.retOff+q)
+		if c.sparse {
+			c.dirtyCur.addLine(ret / pmem.LineWords)
+			c.dirtyCur.addLine((c.deactOff + q) / pmem.LineWords)
+		}
+		c.onStateWrite(tid, dst+ret)
 	}
 
 	switch {
@@ -454,14 +513,15 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	c.onLockWrite(tid)
 
 	mi = c.meta.Load(0)
-	return c.state.Load(c.recOff(mi) + c.retOff + tid)
+	return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 }
 
 // copyDelta brings a booted destination record up to date by copying only
-// the state lines the previous round dirtied plus the whole
-// ReturnVal/Deactivate tail (the tail must always be current before the
-// combiner gathers its batch against dst's Deactivate words). Returns the
-// number of words copied.
+// the record lines the previous round dirtied. The dirty sets span the whole
+// record — combine marks the ReturnVal/Deactivate lines it writes alongside
+// the object's MarkDirty calls — so the two-round staleness argument covers
+// the tail too, and dst's Deactivate words are current before the combiner
+// gathers its batch against them. Returns the number of words copied.
 func (c *PBComb) copyDelta(dst, src int) int {
 	copied := 0
 	for _, l := range c.dirtyPrev.lines {
@@ -469,15 +529,13 @@ func (c *PBComb) copyDelta(dst, src int) int {
 		c.state.CopyWords(dst+off, c.state, src+off, pmem.LineWords)
 		copied += pmem.LineWords
 	}
-	tail := c.recWords - c.retOff
-	c.state.CopyWords(dst+c.retOff, c.state, src+c.retOff, tail)
-	return copied + tail
+	return copied
 }
 
-// persistSparse writes back the destination record incrementally: the state
+// persistSparse writes back the destination record incrementally: the record
 // lines dirtied in this round and the previous one (the durable copy of the
-// destination record is exactly two rounds old), plus the whole
-// ReturnVal/Deactivate tail. A record that was never fully persisted (its
+// destination record is exactly two rounds old), tail lines included via
+// combine's explicit marks. A record that was never fully persisted (its
 // durable bytes predate this instance) is persisted in full once.
 func (c *PBComb) persistSparse(ctx *pmem.Ctx, dst, ind int) {
 	if !c.booted[ind&1] {
@@ -492,7 +550,6 @@ func (c *PBComb) persistSparse(ctx *pmem.Ctx, dst, ind int) {
 				ctx.PWB(c.state, dst+l*pmem.LineWords, pmem.LineWords)
 			}
 		}
-		ctx.PWB(c.state, dst+c.retOff, c.recWords-c.retOff)
 	}
 	c.dirtyCur, c.dirtyPrev = c.dirtyPrev, c.dirtyCur
 	c.dirtyCur.reset()

@@ -35,6 +35,16 @@ type PWFComb struct {
 	sreg  *pmem.Region // word 0: versioned S; word LineWords: init magic
 	sv    pmem.Versioned
 
+	// Vectorized announcements (CombOpts.VecCap > 1): the same per-thread
+	// persistent argument ring as PBComb's. Combiners read it only for
+	// announcements whose ctl carries a count; a stale read (the owner
+	// republishing for its next vector) can only happen in a round whose
+	// SC/validation is already doomed, and such a round's writes stay in the
+	// loser's private buffer.
+	vcap      int
+	vec       *pmem.Region
+	vecStride int
+
 	req       []reqSlot
 	flush     []prim.PaddedUint64
 	combRound []uint64 // [p*n+q], accessed atomically
@@ -104,12 +114,13 @@ type PWFComb struct {
 
 	track *memmodel.Hooks
 	cstat CombTracker
+	vstat VecTracker
 }
 
 // NewPWFComb creates (or re-opens after a crash) a PWFComb instance for n
 // threads driving the given sequential object.
 func NewPWFComb(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
-	return newPWFComb(h, name, n, obj, false)
+	return NewPWFCombWith(h, name, n, obj, CombOpts{})
 }
 
 // NewPWFCombSparse creates a PWFComb instance with sparse fills and sparse
@@ -122,24 +133,39 @@ func NewPWFComb(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
 // counterpart of NewPBCombSparse for large states, where every competing
 // thread paying a whole-record copy and write-back per attempt dominates.
 func NewPWFCombSparse(h *pmem.Heap, name string, n int, obj Object) *PWFComb {
-	return newPWFComb(h, name, n, obj, true)
+	return NewPWFCombWith(h, name, n, obj, CombOpts{Sparse: true})
 }
 
-func newPWFComb(h *pmem.Heap, name string, n int, obj Object, sparse bool) *PWFComb {
+// NewPWFCombWith creates (or re-opens) a PWFComb instance with explicit
+// options; the other constructors are thin wrappers. The options shape the
+// persistent layout, so re-opening after a crash must use the same options.
+// CombOpts.DurableOnly is a PBComb-only option and is rejected here.
+func NewPWFCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *PWFComb {
 	if n <= 0 {
 		panic("core: need at least one thread")
 	}
+	if o.DurableOnly {
+		panic("core: PWFComb has no durably-linearizable-only variant")
+	}
 	c := &PWFComb{h: h, name: name, n: n, obj: obj, stWords: obj.StateWords()}
 	c.bobj, _ = obj.(BatchObject)
+	c.vcap = o.VecCap
+	if c.vcap < 1 {
+		c.vcap = 1
+	}
 	c.retOff = c.stWords
-	c.deactOff = c.stWords + n
-	c.idxOff = c.stWords + 2*n
-	c.pidOff = c.stWords + 3*n
-	c.recWords = roundUpLine(c.stWords + 3*n + 1)
+	c.deactOff = c.stWords + n*c.vcap
+	c.idxOff = c.deactOff + n
+	c.pidOff = c.idxOff + n
+	c.recWords = roundUpLine(c.pidOff + 1)
 
 	c.state = h.AllocOrGet(name+"/pwfcomb.state", (2*n+1)*c.recWords)
 	c.sreg = h.AllocOrGet(name+"/pwfcomb.s", 2*pmem.LineWords)
 	c.sv = pmem.Versioned{R: c.sreg, I: 0}
+	if c.vcap > 1 {
+		c.vecStride = roundUpLine(3 * c.vcap)
+		c.vec = h.AllocOrGet(name+"/pwfcomb.vec", n*c.vecStride)
+	}
 
 	c.req = make([]reqSlot, n)
 	c.hotReq = make([]pmem.HotWord, n)
@@ -154,11 +180,11 @@ func newPWFComb(h *pmem.Heap, name string, n int, obj Object, sparse bool) *PWFC
 	c.annHot = make([]prim.PaddedUint64, n)
 	for i := 0; i < n; i++ {
 		c.ctxs[i] = h.NewCtx()
-		c.scratch[i] = make([]Request, 0, n)
+		c.scratch[i] = make([]Request, 0, n*c.vcap)
 		c.backoffs[i] = prim.NewBackoff(16, 4096, int64(i)+1)
 		c.annYld[i].V.Store(annYieldMin)
 	}
-	if sparse {
+	if o.Sparse {
 		c.sparse = true
 		// The version/dirty tracking spans the WHOLE record (recWords is
 		// line-aligned), tail included: ReturnVal/Deactivate/Index/pid lines
@@ -207,6 +233,13 @@ func (c *PWFComb) Threads() int { return c.n }
 func (c *PWFComb) Ctx(tid int) *pmem.Ctx { return c.ctxs[tid] }
 
 func (c *PWFComb) recOff(slot int) int { return slot * c.recWords }
+
+// retSlot returns the record-relative offset of thread q's first ReturnVal
+// word; a vector's i-th response lands at retSlot(q)+i.
+func (c *PWFComb) retSlot(q int) int { return c.retOff + q*c.vcap }
+
+// vecBase returns the ring offset of thread q's argument vector.
+func (c *PWFComb) vecBase(q int) int { return q * c.vecStride }
 
 // CurrentState returns a view of the currently valid object state. It is
 // safe only when no operations are in flight.
@@ -277,7 +310,7 @@ func (c *PWFComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {
 		return c.perform(tid)
 	}
-	return c.readRecWord(tid, c.retOff+tid)
+	return c.readRecWord(tid, c.retSlot(tid))
 }
 
 // readRecWord reads word off of the record currently pointed to by S,
@@ -374,6 +407,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 		}
 
 		batch := c.scratch[tid][:0]
+		anns := 0
 		for q := 0; q < c.n; q++ {
 			ctl := c.req[q].ctl.Load()
 			c.onReqReadW(tid, q)
@@ -384,14 +418,34 @@ func (c *PWFComb) perform(tid int) uint64 {
 			if act == c.state.Load(dst+c.deactOff+q) {
 				continue
 			}
+			anns++
 			c.h.Touch(&c.hotReq[q], tid)
-			batch = append(batch, Request{
-				Tid: uint64(q),
-				Op:  c.req[q].op.Load(),
-				A0:  c.req[q].a0.Load(),
-				A1:  c.req[q].a1.Load(),
-				act: act,
-			})
+			if cnt := ctlCount(ctl); cnt > 0 {
+				// Vectorized announcement: drain q's argument ring in order.
+				// If q is concurrently republishing (possible only after its
+				// current vector completed), this round's validation is
+				// already doomed and its writes stay in the private buffer,
+				// so a torn read here is harmless.
+				vb := c.vecBase(q)
+				for i := 0; i < cnt; i++ {
+					batch = append(batch, Request{
+						Tid: uint64(q),
+						Op:  c.vec.Load(vb + 3*i),
+						A0:  c.vec.Load(vb + 3*i + 1),
+						A1:  c.vec.Load(vb + 3*i + 2),
+						act: act,
+						vi:  i,
+					})
+				}
+			} else {
+				batch = append(batch, Request{
+					Tid: uint64(q),
+					Op:  c.req[q].op.Load(),
+					A0:  c.req[q].a0.Load(),
+					A1:  c.req[q].a1.Load(),
+					act: act,
+				})
+			}
 		}
 		c.scratch[tid] = batch
 
@@ -404,11 +458,12 @@ func (c *PWFComb) perform(tid int) uint64 {
 		}
 		for i := range batch {
 			q := int(batch[i].Tid)
-			c.state.Store(dst+c.retOff+q, batch[i].Ret)
+			ret := c.retSlot(q) + batch[i].vi
+			c.state.Store(dst+ret, batch[i].Ret)
 			c.state.Store(dst+c.deactOff+q, batch[i].act)
 			if c.sparse {
 				d := c.bufDirty[my]
-				d.addLine((c.retOff + q) / pmem.LineWords)
+				d.addLine(ret / pmem.LineWords)
 				d.addLine((c.deactOff + q) / pmem.LineWords)
 			}
 			atomic.StoreUint64(&c.combRound[tid*c.n+q], lval)
@@ -445,11 +500,15 @@ func (c *PWFComb) perform(tid int) uint64 {
 				c.onSWriteW(tid)
 				c.onRoundW(tid, len(batch))
 				if c.adaptive {
-					// Combining-degree EMA feeding announceWaitW. Round wins
-					// are serialized by S's version, so concurrent updates are
-					// rare; a lost update only delays the EMA by one round.
+					// Combining-degree EMA feeding announceWaitW, counted in
+					// announcements gathered rather than operations so that
+					// vectorized announcements (up to VecCap ops per toggle)
+					// don't saturate the backoff's headroom target of n while
+					// most slots go unserved. Round wins are serialized by S's
+					// version, so concurrent updates are rare; a lost update
+					// only delays the EMA by one round.
 					old := c.degEMA.Load()
-					c.degEMA.Store(old - old/emaAlpha + (uint64(len(batch))<<emaShift)/emaAlpha)
+					c.degEMA.Store(old - old/emaAlpha + (uint64(anns)<<emaShift)/emaAlpha)
 				}
 				ctx.PWBLine(c.sreg, 0)
 				ctx.PSync()
@@ -457,7 +516,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 				if c.PostSC != nil {
 					c.PostSC(env, true)
 				}
-				return c.readRecWord(tid, c.retOff+tid)
+				return c.readRecWord(tid, c.retSlot(tid))
 			}
 			c.onSCFailW(tid)
 			c.noteContentionW(tid)
@@ -500,7 +559,7 @@ func (c *PWFComb) perform(tid int) uint64 {
 	// Being served by another thread's combining round is itself the
 	// contention signal the announce backoff keys on.
 	c.noteContentionW(tid)
-	return c.readRecWord(tid, c.retOff+tid)
+	return c.readRecWord(tid, c.retSlot(tid))
 }
 
 // sparseFill brings private buffer my up to date with the record at src

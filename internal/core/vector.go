@@ -1,0 +1,219 @@
+// Vectorized announcements: a thread publishes up to VecCap operations in
+// its persistent argument ring, makes them durable with one pwb+pfence, and
+// announces the whole vector with a single slot toggle. A combiner drains
+// the vector through ApplyBatch in ring order (the thread's program order),
+// writes one response per op into the thread's widened ReturnVal block, and
+// deactivates the vector with one toggle — so the announce handshake, the
+// combining round, and the record persist all amortize over the vector.
+//
+// Durability ordering is the contract that makes recovery exact-once: the
+// arguments are durable (PublishVec fences) before the vector can be
+// announced, so any external in-progress record written between PublishVec
+// and PerformVec (the sysArea pattern) implies an intact ring. Recovery
+// callers that kept their own copy of the arguments pass them to RecoverVec,
+// which republishes first — covering crashes that tore a half-written ring
+// before the announcement committed anywhere.
+package core
+
+import (
+	"pcomb/internal/prim"
+)
+
+// VecCap returns the instance's vector capacity (1 for scalar-only).
+func (c *PBComb) VecCap() int { return c.vcap }
+
+// VecCap returns the instance's vector capacity (1 for scalar-only).
+func (c *PWFComb) VecCap() int { return c.vcap }
+
+func (c *PBComb) checkVec(cnt int, rets []uint64) {
+	if c.vec == nil {
+		panic("core: instance built without CombOpts.VecCap > 1")
+	}
+	if cnt > c.vcap {
+		panic("core: vector exceeds the instance's VecCap")
+	}
+	if rets != nil && len(rets) < cnt {
+		panic("core: rets shorter than the vector")
+	}
+}
+
+func (c *PWFComb) checkVec(cnt int, rets []uint64) {
+	if c.vec == nil {
+		panic("core: instance built without CombOpts.VecCap > 1")
+	}
+	if cnt > c.vcap {
+		panic("core: vector exceeds the instance's VecCap")
+	}
+	if rets != nil && len(rets) < cnt {
+		panic("core: rets shorter than the vector")
+	}
+}
+
+// PublishVec writes ops into tid's argument ring and makes them durable.
+// See VecProtocol.PublishVec for the ordering contract.
+func (c *PBComb) PublishVec(tid int, ops []VecOp) {
+	c.checkVec(len(ops), nil)
+	b := c.vecBase(tid)
+	for i, op := range ops {
+		c.vec.Store(b+3*i, op.Op)
+		c.vec.Store(b+3*i+1, op.A0)
+		c.vec.Store(b+3*i+2, op.A1)
+	}
+	ctx := c.ctxs[tid]
+	ctx.PWB(c.vec, b, 3*len(ops))
+	ctx.PFence()
+}
+
+// PublishVec writes ops into tid's argument ring and makes them durable.
+func (c *PWFComb) PublishVec(tid int, ops []VecOp) {
+	c.checkVec(len(ops), nil)
+	b := c.vecBase(tid)
+	for i, op := range ops {
+		c.vec.Store(b+3*i, op.Op)
+		c.vec.Store(b+3*i+1, op.A0)
+		c.vec.Store(b+3*i+2, op.A1)
+	}
+	ctx := c.ctxs[tid]
+	ctx.PWB(c.vec, b, 3*len(ops))
+	ctx.PFence()
+}
+
+// VecArg reads entry i of tid's argument ring.
+func (c *PBComb) VecArg(tid, i int) VecOp {
+	b := c.vecBase(tid) + 3*i
+	return VecOp{Op: c.vec.Load(b), A0: c.vec.Load(b + 1), A1: c.vec.Load(b + 2)}
+}
+
+// VecArg reads entry i of tid's argument ring.
+func (c *PWFComb) VecArg(tid, i int) VecOp {
+	b := c.vecBase(tid) + 3*i
+	return VecOp{Op: c.vec.Load(b), A0: c.vec.Load(b + 1), A1: c.vec.Load(b + 2)}
+}
+
+// PerformVec announces the cnt ring operations published by PublishVec with
+// one slot toggle, waits until a combiner has served the whole vector, and
+// copies the per-op responses into rets[:cnt].
+func (c *PBComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
+	if cnt <= 0 {
+		return
+	}
+	c.checkVec(cnt, rets)
+	c.onBatchSize(tid, cnt)
+	c.req[tid].announceVec(cnt, seq&1)
+	c.onReqWrite(tid, tid)
+	if c.adaptive && c.n > 1 {
+		c.announceWait(tid, seq&1)
+	} else {
+		prim.Pause()
+	}
+	c.perform(tid)
+	c.collectRets(tid, cnt, rets)
+}
+
+// PerformVec announces the cnt ring operations published by PublishVec with
+// one slot toggle, waits until some combiner's winning round has served the
+// whole vector, and copies the per-op responses into rets[:cnt].
+func (c *PWFComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
+	if cnt <= 0 {
+		return
+	}
+	c.checkVec(cnt, rets)
+	c.onBatchSize(tid, cnt)
+	c.req[tid].announceVec(cnt, seq&1)
+	if c.adaptive && c.n > 1 {
+		c.announceWaitW(tid, seq&1)
+	} else {
+		c.backoffs[tid].Wait()
+	}
+	c.perform(tid)
+	c.collectRets(tid, cnt, rets)
+}
+
+// collectRets copies tid's response slots out of the current record. Safe
+// after perform returned: later rounds copy a non-announcing thread's slots
+// forward unchanged (dense copy, or sparse two-round staleness), so the
+// loads — like perform's own single-word response read — see stable values.
+func (c *PBComb) collectRets(tid, cnt int, rets []uint64) {
+	base := c.recOff(c.meta.Load(0)) + c.retSlot(tid)
+	for i := 0; i < cnt; i++ {
+		rets[i] = c.state.Load(base + i)
+	}
+}
+
+// collectRets is PBComb.collectRets with a validated (LL/VL) multi-word read,
+// since S may move mid-copy.
+func (c *PWFComb) collectRets(tid, cnt int, rets []uint64) {
+	for {
+		sv := c.sv.LL()
+		slot, _ := prim.UnpackVersioned(sv)
+		base := c.recOff(slot) + c.retSlot(tid)
+		for i := 0; i < cnt; i++ {
+			rets[i] = c.state.Load(base + i)
+		}
+		if c.sv.VL(sv) {
+			return
+		}
+		prim.Pause()
+	}
+}
+
+// InvokeVec publishes and executes one vector of operations for thread tid.
+// seq follows the per-thread contract of Invoke — one number per
+// announcement, its low bit driving activate/deactivate detectability for
+// the whole vector.
+func (c *PBComb) InvokeVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
+	if len(ops) == 0 {
+		return
+	}
+	c.PublishVec(tid, ops)
+	c.PerformVec(tid, len(ops), seq, rets)
+}
+
+// InvokeVec publishes and executes one vector of operations for thread tid.
+func (c *PWFComb) InvokeVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
+	if len(ops) == 0 {
+		return
+	}
+	c.PublishVec(tid, ops)
+	c.PerformVec(tid, len(ops), seq, rets)
+}
+
+// RecoverVec resolves thread tid's interrupted vector after a crash: the
+// caller re-supplies the original ops and seq. The ring is republished first
+// (the crash may have torn a half-written publication), then the vector is
+// re-announced with the original toggle, so a combiner neither re-executes a
+// vector that took effect nor skips one that did not; the responses of every
+// completed op land in rets.
+func (c *PBComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
+	if c.durableOnly {
+		panic("core: the durably-linearizable-only variant has null recovery (no RecoverVec)")
+	}
+	cnt := len(ops)
+	if cnt == 0 {
+		return
+	}
+	c.checkVec(cnt, rets)
+	c.PublishVec(tid, ops)
+	c.req[tid].announceVec(cnt, seq&1)
+	mi := c.meta.Load(0)
+	if c.state.Load(c.recOff(mi)+c.deactOff+tid) != seq&1 {
+		c.perform(tid)
+	}
+	c.collectRets(tid, cnt, rets)
+}
+
+// RecoverVec resolves thread tid's interrupted vector after a crash (see
+// PBComb.RecoverVec).
+func (c *PWFComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
+	cnt := len(ops)
+	if cnt == 0 {
+		return
+	}
+	c.checkVec(cnt, rets)
+	c.PublishVec(tid, ops)
+	c.req[tid].announceVec(cnt, seq&1)
+	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {
+		c.perform(tid)
+	}
+	c.collectRets(tid, cnt, rets)
+}

@@ -1,0 +1,176 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"pcomb/internal/core"
+	"pcomb/internal/pmem"
+)
+
+// batchVecCap is the vector capacity of the batched register target: small
+// enough that enumerate stays cheap, large enough that a crash point can
+// land anywhere inside a multi-op vector — during the ring publish, the
+// announcement, the combiner's partial application, or the return-slot
+// collection.
+const batchVecCap = 4
+
+// pendingVec is what a worker's vectorized announcement was doing at the
+// crash: the driver-kept operations (the source of truth — the crash may
+// have torn the persistent argument ring mid-publish) and the seq toggle.
+type pendingVec struct {
+	active bool
+	ops    []core.VecOp
+	seq    uint64
+}
+
+// vecRec is one completed vector: its ops and their responses.
+type vecRec struct {
+	ops  []core.VecOp
+	rets []uint64
+}
+
+// batchRegisterDriver targets the vectorized-announcement path
+// (PublishVec/PerformVec/RecoverVec) on the sparse protocols with a wide
+// register file. Every step announces a whole vector of writes with varying
+// length; each write's response is the word's previous value, so the model
+// knows the exact expected response of every op of every vector — a vector
+// applied twice, applied partially, or resolved with stale return slots
+// surfaces as a response or word mismatch.
+type batchRegisterDriver struct {
+	waitFree bool
+	n        int
+
+	c  core.Protocol
+	vp core.VecProtocol
+
+	seq  []uint64
+	vals []uint64 // last resolved value per word (0 = initial)
+
+	pend      []pendingVec
+	localVecs [][]vecRec
+	resolved  []bool
+	folded    bool
+	recovered int
+}
+
+// NewBatchRegisterDriver builds a vectorized register target on the sparse
+// protocols (PB when waitFree is false, PWF otherwise).
+func NewBatchRegisterDriver(waitFree bool, n int, seed int64) Driver {
+	_ = seed // the schedule is seq-deterministic; no per-thread rngs
+	return &batchRegisterDriver{
+		waitFree: waitFree,
+		n:        n,
+		seq:      make([]uint64, n),
+		vals:     make([]uint64, n*wordsPerThread),
+	}
+}
+
+func (d *batchRegisterDriver) Name() string {
+	if d.waitFree {
+		return "register/PWFbatch"
+	}
+	return "register/PBbatch"
+}
+
+func (d *batchRegisterDriver) Open(h *pmem.Heap) {
+	obj := core.RegisterFile{Words: d.n * wordsPerThread}
+	o := core.CombOpts{Sparse: true, VecCap: batchVecCap}
+	if d.waitFree {
+		c := core.NewPWFCombWith(h, "fb", d.n, obj, o)
+		d.c, d.vp = c, c
+	} else {
+		c := core.NewPBCombWith(h, "fb", d.n, obj, o)
+		d.c, d.vp = c, c
+	}
+}
+
+func (d *batchRegisterDriver) BeginRound(round int) {
+	d.pend = make([]pendingVec, d.n)
+	d.localVecs = make([][]vecRec, d.n)
+	d.resolved = make([]bool, d.n)
+	d.folded = false
+	d.recovered = 0
+}
+
+func (d *batchRegisterDriver) Step(tid, i int) {
+	d.seq[tid]++
+	// Vector lengths cycle 1..batchVecCap; words within a vector are
+	// consecutive (mod the thread's range) and therefore distinct, so each
+	// op's expected response is simply its word's prior resolved value.
+	cnt := int(d.seq[tid]%batchVecCap) + 1
+	base := d.seq[tid] * batchVecCap
+	ops := make([]core.VecOp, cnt)
+	for j := range ops {
+		word := uint64(tid*wordsPerThread) + (base+uint64(j))%wordsPerThread
+		val := d.seq[tid]<<16 | uint64(j)<<8 | uint64(tid) | 1<<48
+		ops[j] = core.VecOp{Op: core.OpRegWrite, A0: word, A1: val}
+	}
+	d.pend[tid] = pendingVec{active: true, ops: ops, seq: d.seq[tid]}
+	rets := make([]uint64, cnt)
+	d.vp.InvokeVec(tid, ops, d.seq[tid], rets)
+	d.localVecs[tid] = append(d.localVecs[tid], vecRec{ops: ops, rets: rets})
+	d.pend[tid].active = false
+}
+
+// foldVec checks one resolved vector's responses against the model and
+// advances it. The combiner applies a vector's ops in order, so op j's
+// expected response is the word's value after ops 0..j-1 of the same vector.
+func (d *batchRegisterDriver) foldVec(ops []core.VecOp, rets []uint64, how string) error {
+	for j := range ops {
+		if rets[j] != d.vals[ops[j].A0] {
+			return fmt.Errorf("%s vector op %d: word %d returned previous %#x, want %#x",
+				how, j, ops[j].A0, rets[j], d.vals[ops[j].A0])
+		}
+		d.vals[ops[j].A0] = ops[j].A1
+	}
+	return nil
+}
+
+func (d *batchRegisterDriver) Recover() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, v := range d.localVecs[tid] {
+				if err := d.foldVec(v.ops, v.rets, "completed"); err != nil {
+					return d.recovered, err
+				}
+			}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if !d.pend[tid].active || d.resolved[tid] {
+			continue
+		}
+		p := d.pend[tid]
+		rets := make([]uint64, len(p.ops))
+		// RecoverVec republishes the driver-kept ops (the ring may be torn),
+		// re-announces under the original seq, re-performs only if the
+		// vector never applied, and reads every return slot — so a vector
+		// interrupted anywhere reports all its per-op responses exactly once.
+		d.vp.RecoverVec(tid, p.ops, p.seq, rets)
+		d.resolved[tid] = true
+		d.recovered++
+		if err := d.foldVec(p.ops, rets, "recovered"); err != nil {
+			return d.recovered, err
+		}
+	}
+	return d.recovered, nil
+}
+
+func (d *batchRegisterDriver) Check() error {
+	st := d.c.CurrentState()
+	for w, want := range d.vals {
+		if got := st.Load(w); got != want {
+			return fmt.Errorf("word %d = %#x, want %#x (torn, stale, or partially applied vector)", w, got, want)
+		}
+	}
+	return nil
+}
+
+// FuzzBatchRegister crash-fuzzes the vectorized-announcement register target
+// on either protocol.
+func FuzzBatchRegister(waitFree bool, n, opsPerThread, rounds int, seed int64) (Report, error) {
+	rep, f := Fuzz(func(s int64) Driver { return NewBatchRegisterDriver(waitFree, n, s) },
+		Config{Threads: n, Ops: opsPerThread, Rounds: rounds, Seed: seed})
+	return rep, f.ErrOrNil()
+}

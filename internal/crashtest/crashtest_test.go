@@ -123,3 +123,19 @@ func TestFuzzRegisterSparsePWF(t *testing.T) {
 		}
 	}
 }
+
+func TestFuzzBatchRegisterPB(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if _, err := FuzzBatchRegister(false, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestFuzzBatchRegisterPWF(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		if _, err := FuzzBatchRegister(true, fuzzThreads, fuzzOps, fuzzRounds, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

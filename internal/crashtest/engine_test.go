@@ -34,6 +34,12 @@ func enumTargets(n int) map[string]func(seed int64) Driver {
 		// inside the delta persist itself.
 		"register/PBsparse":  func(s int64) Driver { return NewRegisterDriver(false, n, s) },
 		"register/PWFsparse": func(s int64) Driver { return NewRegisterDriver(true, n, s) },
+
+		// Vectorized-announcement targets: every step announces a whole
+		// vector of writes, so enumeration lands crash points inside ring
+		// publishes, partially applied vectors, and return-slot collection.
+		"register/PBbatch":  func(s int64) Driver { return NewBatchRegisterDriver(false, n, s) },
+		"register/PWFbatch": func(s int64) Driver { return NewBatchRegisterDriver(true, n, s) },
 	}
 }
 

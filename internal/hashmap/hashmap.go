@@ -19,6 +19,7 @@ import (
 
 	"pcomb/internal/core"
 	"pcomb/internal/pmem"
+	"pcomb/internal/vecbatch"
 )
 
 // Operation codes.
@@ -147,7 +148,20 @@ type Map struct {
 	// [op, key, val, shard, seq, done].
 	sys    *pmem.Region
 	stride int
+
+	// pipe stages Submit-ed operations (nil unless built with VecCap > 1);
+	// taken and tmp are per-thread scratch for the per-shard grouping in
+	// flushBatch.
+	pipe  *vecbatch.Pipe
+	taken [][]bool
+	tmp   [][]uint64
 }
+
+// sysVecMark in the sys op word marks an in-flight vectorized sub-batch:
+// the shard/seq fields are as for a scalar record, the val field holds the
+// vector length, and the arguments live in the shard instance's argument
+// ring (durable before the record is written).
+const sysVecMark = uint64(1) << 63
 
 const (
 	sysOp = iota
@@ -159,22 +173,39 @@ const (
 	sysRecWords
 )
 
+// Options configures a map instance beyond the New/NewDense defaults.
+type Options struct {
+	// Shards is the number of combining instances (0 = 8).
+	Shards int
+	// Capacity is the total slot count across shards (0 = 64 per shard).
+	Capacity int
+	// Dense disables sparse (dirty-line) copy and persistence.
+	Dense bool
+	// VecCap enables the async Submit/Flush path with vectors of up to
+	// VecCap operations per shard sub-batch (0 or 1 = scalar only). Part of
+	// the persistent layout — re-open with the same value.
+	VecCap int
+}
+
 // New creates (or re-opens after a crash) a recoverable hash map for n
 // threads with the given shard count and total slot capacity. Both kinds use
 // sparse combining instances: shards copy and persist only the lines each
 // round dirties, not the whole table.
 func New(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Map {
-	return newMap(h, name, n, kind, nshards, capacity, true)
+	return NewWith(h, name, n, kind, Options{Shards: nshards, Capacity: capacity})
 }
 
 // NewDense is New with dense (whole-record) copy and persistence — the
 // baseline the sparse-vs-dense equivalence tests and benchmarks compare
 // against.
 func NewDense(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int) *Map {
-	return newMap(h, name, n, kind, nshards, capacity, false)
+	return NewWith(h, name, n, kind, Options{Shards: nshards, Capacity: capacity, Dense: true})
 }
 
-func newMap(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int, sparse bool) *Map {
+// NewWith creates (or re-opens after a crash) a recoverable hash map with
+// explicit options.
+func NewWith(h *pmem.Heap, name string, n int, kind Kind, o Options) *Map {
+	nshards, capacity := o.Shards, o.Capacity
 	if nshards <= 0 {
 		nshards = 8
 	}
@@ -185,17 +216,22 @@ func newMap(h *pmem.Heap, name string, n int, kind Kind, nshards, capacity int, 
 	m.stride = nshards + sysRecWords
 	m.sys = h.AllocOrGet(name+"/hashmap.sys", n*m.stride)
 	obj := shardObj{slots: m.slots}
+	co := core.CombOpts{Sparse: !o.Dense, VecCap: o.VecCap}
 	for s := 0; s < nshards; s++ {
 		sname := fmt.Sprintf("%s/shard%d", name, s)
-		switch {
-		case kind == WaitFree && sparse:
-			m.shards = append(m.shards, core.NewPWFCombSparse(h, sname, n, obj))
-		case kind == WaitFree:
-			m.shards = append(m.shards, core.NewPWFComb(h, sname, n, obj))
-		case sparse:
-			m.shards = append(m.shards, core.NewPBCombSparse(h, sname, n, obj))
-		default:
-			m.shards = append(m.shards, core.NewPBComb(h, sname, n, obj))
+		if kind == WaitFree {
+			m.shards = append(m.shards, core.NewPWFCombWith(h, sname, n, obj, co))
+		} else {
+			m.shards = append(m.shards, core.NewPBCombWith(h, sname, n, obj, co))
+		}
+	}
+	if o.VecCap > 1 {
+		m.pipe = vecbatch.New(n, o.VecCap, m.flushBatch)
+		m.taken = make([][]bool, n)
+		m.tmp = make([][]uint64, n)
+		for i := range m.taken {
+			m.taken[i] = make([]bool, o.VecCap)
+			m.tmp[i] = make([]uint64, o.VecCap)
 		}
 	}
 	return m
@@ -266,13 +302,19 @@ func (m *Map) Delete(tid int, key uint64) (uint64, bool) {
 
 // Recover resolves thread tid's interrupted operation after a crash: it
 // re-runs it or fetches its response — exactly once. pending is false when
-// tid had no operation in flight.
+// tid had no operation in flight. An interrupted vectorized sub-batch is
+// resolved as a whole (use RecoverBatch for its per-op results): op then
+// reports the batch marker and result the vector length.
 func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	base := tid * m.stride
 	if m.sys.Load(base+m.nsh+sysOp) == 0 || m.sys.Load(base+m.nsh+sysDone) == 1 {
 		return 0, 0, 0, false
 	}
 	op = m.sys.Load(base + m.nsh + sysOp)
+	if op&sysVecMark != 0 {
+		ops, _ := m.RecoverBatch(tid)
+		return op, 0, uint64(len(ops)), true
+	}
 	key = m.sys.Load(base + m.nsh + sysKey)
 	val := m.sys.Load(base + m.nsh + sysVal)
 	sh := int(m.sys.Load(base + m.nsh + sysShard))
@@ -280,6 +322,141 @@ func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	result = m.shards[sh].Recover(tid, op, key, val, seq)
 	m.sys.DirectStore(base+m.nsh+sysDone, 1)
 	return op, key, result, true
+}
+
+// RecOp is one operation of a recovered sub-batch.
+type RecOp struct {
+	Op     uint64
+	Key    uint64
+	Val    uint64
+	Result uint64
+}
+
+// RecoverBatch resolves thread tid's interrupted vectorized sub-batch after
+// a crash — exactly once — and reports every op's result. When the pending
+// record is a scalar operation it is resolved too (as a one-op batch), so
+// callers on the async path need only this entry point. pending is false
+// when nothing was in flight.
+//
+// Commit-point caveat: Submit-ed operations whose Flush had not yet recorded
+// their sub-batch durably are lost wholesale by a crash and will NOT be
+// reported here — the async API's documented contract.
+func (m *Map) RecoverBatch(tid int) ([]RecOp, bool) {
+	base := tid * m.stride
+	op := m.sys.Load(base + m.nsh + sysOp)
+	if op == 0 || m.sys.Load(base+m.nsh+sysDone) == 1 {
+		return nil, false
+	}
+	if op&sysVecMark == 0 {
+		o, k, r, _ := m.Recover(tid)
+		return []RecOp{{Op: o, Key: k, Val: m.sys.Load(base + m.nsh + sysVal), Result: r}}, true
+	}
+	cnt := int(m.sys.Load(base + m.nsh + sysVal))
+	sh := int(m.sys.Load(base + m.nsh + sysShard))
+	seq := m.sys.Load(base + m.nsh + sysSeq)
+	vp := m.shards[sh].(core.VecProtocol)
+	// The record was written after the argument ring's pfence, so the ring
+	// is intact; re-supply its contents to RecoverVec.
+	ops := make([]core.VecOp, cnt)
+	for i := range ops {
+		ops[i] = vp.VecArg(tid, i)
+	}
+	rets := make([]uint64, cnt)
+	vp.RecoverVec(tid, ops, seq, rets)
+	m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	out := make([]RecOp, cnt)
+	for i := range out {
+		out[i] = RecOp{Op: ops[i].Op, Key: ops[i].A0, Val: ops[i].A1, Result: rets[i]}
+	}
+	return out, true
+}
+
+// SubmitPut stages a Put for the async pipelined path (requires VecCap > 1);
+// the result arrives through the Future (same encoding as invoke: previous
+// value, NotFound, or Full).
+func (m *Map) SubmitPut(tid int, key, val uint64) vecbatch.Future {
+	return m.pipe.Submit(tid, core.VecOp{Op: OpPut, A0: key, A1: val})
+}
+
+// SubmitGet stages a Get (requires VecCap > 1).
+func (m *Map) SubmitGet(tid int, key uint64) vecbatch.Future {
+	return m.pipe.Submit(tid, core.VecOp{Op: OpGet, A0: key})
+}
+
+// SubmitDelete stages a Delete (requires VecCap > 1).
+func (m *Map) SubmitDelete(tid int, key uint64) vecbatch.Future {
+	return m.pipe.Submit(tid, core.VecOp{Op: OpDel, A0: key})
+}
+
+// Flush commits tid's staged operations. Ops are grouped by shard and each
+// group announced as one vector; groups commit one at a time through the
+// system area, so a crash can interrupt at most one sub-batch (resolved by
+// RecoverBatch) — later groups of the same Flush are lost wholesale, earlier
+// ones are durable.
+func (m *Map) Flush(tid int) { m.pipe.Flush(tid) }
+
+// Pending returns the number of staged, unflushed ops of tid.
+func (m *Map) Pending(tid int) int { return m.pipe.Pending(tid) }
+
+// VecCap returns the configured vector capacity (0 when the async path is
+// disabled).
+func (m *Map) VecCap() int {
+	if m.pipe == nil {
+		return 0
+	}
+	return m.pipe.Cap()
+}
+
+// flushBatch commits one staged vector: ops are grouped by shard in
+// first-appearance order (within a shard, submission order is preserved —
+// the intra-thread reordering across shards is unobservable, as the ops
+// commute) and each group runs as one vectorized announcement.
+func (m *Map) flushBatch(tid int, ops []core.VecOp, rets []uint64) {
+	base := tid * m.stride
+	taken := m.taken[tid]
+	var group []core.VecOp
+	var idxs []int
+	for i := range ops {
+		if taken[i] {
+			continue
+		}
+		sh := m.shardOf(ops[i].A0)
+		group, idxs = group[:0], idxs[:0]
+		for j := i; j < len(ops); j++ {
+			if !taken[j] && m.shardOf(ops[j].A0) == sh {
+				taken[j] = true
+				group = append(group, ops[j])
+				idxs = append(idxs, j)
+			}
+		}
+		vp := m.shards[sh].(core.VecProtocol)
+		// Ring first, then the in-progress record: recovery may trust the
+		// ring only because the record is ordered after the ring's pfence.
+		vp.PublishVec(tid, group)
+		seq := m.sys.Load(base+sh) + 1
+		m.sys.DirectStore(base+sh, seq)
+		m.sys.DirectStore(base+m.nsh+sysOp, sysVecMark)
+		m.sys.DirectStore(base+m.nsh+sysKey, 0)
+		m.sys.DirectStore(base+m.nsh+sysVal, uint64(len(group)))
+		m.sys.DirectStore(base+m.nsh+sysShard, uint64(sh))
+		m.sys.DirectStore(base+m.nsh+sysSeq, seq)
+		m.sys.DirectStore(base+m.nsh+sysDone, 0)
+		m.scatter(tid, vp, len(group), seq, idxs, rets)
+		m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	}
+	for i := range ops {
+		taken[i] = false
+	}
+}
+
+// scatter performs the announced group and spreads its responses back to
+// the submission-order positions.
+func (m *Map) scatter(tid int, vp core.VecProtocol, cnt int, seq uint64, idxs []int, rets []uint64) {
+	tmp := m.tmp[tid][:cnt]
+	vp.PerformVec(tid, cnt, seq, tmp)
+	for i, j := range idxs {
+		rets[j] = tmp[i]
+	}
 }
 
 // Len returns the number of live keys. Quiescent use only.

@@ -126,16 +126,21 @@ type Heap struct {
 // New creates (or re-opens after a crash) a recoverable min-heap for n
 // threads, holding at most bound keys.
 func New(h *pmem.Heap, name string, n int, kind Kind, bound int) *Heap {
+	return NewWith(h, name, n, kind, bound, core.CombOpts{})
+}
+
+// NewWith is New with explicit combining options (sparse persistence,
+// vectorized-announcement capacity).
+func NewWith(h *pmem.Heap, name string, n int, kind Kind, bound int, o core.CombOpts) *Heap {
 	if bound <= 0 {
 		panic("heap: bound must be positive")
 	}
-	o := obj{bound: bound}
 	hp := &Heap{bound: bound}
 	switch kind {
 	case Blocking:
-		hp.comb = core.NewPBComb(h, name, n, o)
+		hp.comb = core.NewPBCombWith(h, name, n, obj{bound: bound}, o)
 	case WaitFree:
-		hp.comb = core.NewPWFComb(h, name, n, o)
+		hp.comb = core.NewPWFCombWith(h, name, n, obj{bound: bound}, o)
 	default:
 		panic("heap: unknown kind")
 	}
@@ -147,10 +152,7 @@ func New(h *pmem.Heap, name string, n int, kind Kind, bound int) *Heap {
 // the whole key array, removing most of the heap-size penalty Figure 3b
 // quantifies (an extension beyond the paper).
 func NewSparse(h *pmem.Heap, name string, n int, bound int) *Heap {
-	if bound <= 0 {
-		panic("heap: bound must be positive")
-	}
-	return &Heap{bound: bound, comb: core.NewPBCombSparse(h, name, n, obj{bound: bound})}
+	return NewWith(h, name, n, Blocking, bound, core.CombOpts{Sparse: true})
 }
 
 // NewSparseWaitFree is the PWFheap counterpart of NewSparse: every
@@ -158,10 +160,7 @@ func NewSparse(h *pmem.Heap, name string, n int, bound int) *Heap {
 // its private buffer last matched S, instead of the whole key array per
 // attempt.
 func NewSparseWaitFree(h *pmem.Heap, name string, n int, bound int) *Heap {
-	if bound <= 0 {
-		panic("heap: bound must be positive")
-	}
-	return &Heap{bound: bound, comb: core.NewPWFCombSparse(h, name, n, obj{bound: bound})}
+	return NewWith(h, name, n, WaitFree, bound, core.CombOpts{Sparse: true})
 }
 
 // Bound returns the heap's capacity.

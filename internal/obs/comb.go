@@ -18,6 +18,7 @@ type CombStats struct {
 	copies    *Counter // record copies performed
 	copyWords *Counter // words copied (copy churn)
 	degree    *ShardedHist
+	batchSize *ShardedHist // vectorized-announcement sizes (core.VecTracker)
 }
 
 // NewCombStats creates combiner statistics for n threads.
@@ -31,6 +32,7 @@ func NewCombStats(n int) *CombStats {
 		copies:    NewCounter(n),
 		copyWords: NewCounter(n),
 		degree:    NewShardedHist(n),
+		batchSize: NewShardedHist(n),
 	}
 }
 
@@ -58,6 +60,12 @@ func (s *CombStats) Copied(tid, words int) {
 	s.copyWords.Add(tid, uint64(words))
 }
 
+// BatchSize records the size of one vectorized announcement by tid
+// (core.VecTracker; reported once per announcement, on the announcing side).
+func (s *CombStats) BatchSize(tid, size int) {
+	s.batchSize.Record(tid, uint64(size))
+}
+
 // CombSnapshot is a point-in-time aggregate of CombStats, shaped for export.
 type CombSnapshot struct {
 	Rounds      uint64 `json:"rounds"`
@@ -78,6 +86,15 @@ type CombSnapshot struct {
 	// DegreeDist is the ops-per-round distribution (non-empty buckets; Lo is
 	// the bucket's lower degree bound).
 	DegreeDist []Bucket `json:"degree_dist,omitempty"`
+
+	// Batch* summarize the sizes of vectorized announcements (zero when the
+	// run used only scalar Invoke).
+	Batches       uint64   `json:"batches,omitempty"`
+	BatchMeanSize float64  `json:"batch_mean_size,omitempty"`
+	BatchP50      float64  `json:"batch_p50,omitempty"`
+	BatchP99      float64  `json:"batch_p99,omitempty"`
+	BatchMax      uint64   `json:"batch_max,omitempty"`
+	BatchDist     []Bucket `json:"batch_dist,omitempty"`
 }
 
 // Snapshot aggregates the current counters.
@@ -99,5 +116,13 @@ func (s *CombStats) Snapshot() CombSnapshot {
 	out.DegreeP99 = d.Quantile(0.99)
 	out.DegreeMax = d.Max()
 	out.DegreeDist = d.Buckets()
+	if b := s.batchSize.Snapshot(); b.Count() > 0 {
+		out.Batches = b.Count()
+		out.BatchMeanSize = b.Mean()
+		out.BatchP50 = b.Quantile(0.50)
+		out.BatchP99 = b.Quantile(0.99)
+		out.BatchMax = b.Max()
+		out.BatchDist = b.Buckets()
+	}
 	return out
 }

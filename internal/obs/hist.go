@@ -57,6 +57,9 @@ type Hist struct {
 	count  uint64
 	sum    uint64
 	max    uint64
+	// min holds the smallest recorded value plus one, so the zero value
+	// still means "nothing recorded" (values themselves may be 0).
+	min uint64
 }
 
 // Record adds one value. It never allocates.
@@ -67,6 +70,12 @@ func (h *Hist) Record(v uint64) {
 	for {
 		m := atomic.LoadUint64(&h.max)
 		if v <= m || atomic.CompareAndSwapUint64(&h.max, m, v) {
+			break
+		}
+	}
+	for {
+		m := atomic.LoadUint64(&h.min)
+		if (m != 0 && v+1 >= m) || atomic.CompareAndSwapUint64(&h.min, m, v+1) {
 			return
 		}
 	}
@@ -85,6 +94,16 @@ func (h *Hist) Merge(o *Hist) {
 	for {
 		m := atomic.LoadUint64(&h.max)
 		if om <= m || atomic.CompareAndSwapUint64(&h.max, m, om) {
+			break
+		}
+	}
+	on := atomic.LoadUint64(&o.min)
+	if on == 0 {
+		return
+	}
+	for {
+		m := atomic.LoadUint64(&h.min)
+		if (m != 0 && on >= m) || atomic.CompareAndSwapUint64(&h.min, m, on) {
 			return
 		}
 	}
@@ -96,6 +115,15 @@ func (h *Hist) Count() uint64 { return atomic.LoadUint64(&h.count) }
 // Max returns the largest recorded value (0 when empty).
 func (h *Hist) Max() uint64 { return atomic.LoadUint64(&h.max) }
 
+// Min returns the smallest recorded value (0 when empty).
+func (h *Hist) Min() uint64 {
+	m := atomic.LoadUint64(&h.min)
+	if m == 0 {
+		return 0
+	}
+	return m - 1
+}
+
 // Mean returns the arithmetic mean of recorded values (0 when empty).
 func (h *Hist) Mean() float64 {
 	n := atomic.LoadUint64(&h.count)
@@ -106,7 +134,10 @@ func (h *Hist) Mean() float64 {
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
-// inside the containing bucket. Returns 0 for an empty histogram.
+// inside the containing bucket, clamped to the observed [Min, Max] range so
+// a histogram whose values all landed in one bucket reports that value
+// exactly rather than an interpolated overshoot (e.g. p99 of all-ones must
+// be 1, not 1.99). Returns 0 for an empty histogram.
 func (h *Hist) Quantile(q float64) float64 {
 	total := atomic.LoadUint64(&h.count)
 	if total == 0 {
@@ -120,6 +151,7 @@ func (h *Hist) Quantile(q float64) float64 {
 	}
 	target := q * float64(total)
 	cum := 0.0
+	v := float64(atomic.LoadUint64(&h.max))
 	for b := 0; b < nBuckets; b++ {
 		c := float64(atomic.LoadUint64(&h.counts[b]))
 		if c == 0 {
@@ -131,11 +163,18 @@ func (h *Hist) Quantile(q float64) float64 {
 			if c > 0 {
 				frac = (target - cum) / c
 			}
-			return float64(lo) + frac*float64(hi-lo)
+			v = float64(lo) + frac*float64(hi-lo)
+			break
 		}
 		cum += c
 	}
-	return float64(atomic.LoadUint64(&h.max))
+	if mn := float64(h.Min()); v < mn {
+		v = mn
+	}
+	if mx := float64(h.Max()); v > mx {
+		v = mx
+	}
+	return v
 }
 
 // Bucket is one non-empty histogram bucket for export: Lo is the bucket's

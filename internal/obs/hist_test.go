@@ -72,6 +72,44 @@ func TestHistEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestHistQuantileClampedToObserved(t *testing.T) {
+	// The BENCH_3 regression: every recorded value was 1, yet interpolation
+	// inside the [1,2) bucket reported p50=1.5 and p99=1.99. Quantiles must
+	// be clamped to the observed [min, max] range.
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Record(1)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("Quantile(%g) = %v, want exactly 1", q, got)
+		}
+	}
+	if h.Min() != 1 || h.Max() != 1 {
+		t.Fatalf("min/max = %d/%d, want 1/1", h.Min(), h.Max())
+	}
+	// Mixed values: quantiles stay within [min, max] even at the extremes.
+	var m Hist
+	m.Record(3)
+	m.Record(100)
+	if q := m.Quantile(0.999); q > float64(m.Max()) {
+		t.Errorf("p99.9 = %v above max %d", q, m.Max())
+	}
+	if q := m.Quantile(0.001); q < float64(m.Min()) {
+		t.Errorf("p0.1 = %v below min %d", q, m.Min())
+	}
+	// Zero is a legitimate recorded value, distinguishable from "empty".
+	var z Hist
+	z.Record(0)
+	if z.Min() != 0 || z.Count() != 1 || z.Quantile(0.99) != 0 {
+		t.Fatalf("all-zero hist: min=%d count=%d p99=%v", z.Min(), z.Count(), z.Quantile(0.99))
+	}
+	var e Hist
+	if e.Min() != 0 {
+		t.Fatal("empty hist min must read 0")
+	}
+}
+
 func TestHistMerge(t *testing.T) {
 	var a, b, both Hist
 	for v := uint64(1); v <= 1000; v++ {
@@ -90,6 +128,9 @@ func TestHistMerge(t *testing.T) {
 	}
 	if merged.Max() != both.Max() {
 		t.Fatalf("merged max %d != %d", merged.Max(), both.Max())
+	}
+	if merged.Min() != both.Min() {
+		t.Fatalf("merged min %d != %d", merged.Min(), both.Min())
 	}
 	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
 		if merged.Quantile(q) != both.Quantile(q) {

@@ -70,5 +70,9 @@ func (m *Metrics) Extra(ops uint64) map[string]float64 {
 		out["sc-fails/op"] = float64(cs.SCFails) / fops
 		out["copy-words/op"] = float64(cs.CopyWords) / fops
 	}
+	if cs.Batches > 0 {
+		out["batch-size-mean"] = cs.BatchMeanSize
+		out["batch-size-p99"] = float64(cs.BatchP99)
+	}
 	return out
 }

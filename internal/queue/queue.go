@@ -61,6 +61,11 @@ type Options struct {
 	// the win is small; the flag keeps the queue API uniform with the other
 	// structures.
 	Sparse bool
+	// VecCap builds both combining instances with vectorized-announcement
+	// support: threads may publish up to VecCap operations per slot toggle
+	// (0 or 1 = scalar only). Part of the persistent layout — re-open with
+	// the same value.
+	VecCap int
 }
 
 const (
@@ -114,12 +119,9 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
 	case Blocking:
 		eo := &pbEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
 		do := &pbDeqObj{q: q, dummy: dummy, recycle: opt.Recycling, per: make([]roundScratch, n)}
-		mk := core.NewPBComb
-		if opt.Sparse {
-			mk = core.NewPBCombSparse
-		}
-		ie := mk(h, name+"/enq", n, eo)
-		id := mk(h, name+"/deq", n, do)
+		co := core.CombOpts{Sparse: opt.Sparse, VecCap: opt.VecCap}
+		ie := core.NewPBCombWith(h, name+"/enq", n, eo, co)
+		id := core.NewPBCombWith(h, name+"/deq", n, do, co)
 		ie.PostSync = func(env *core.Env) {
 			// The round's nodes are durable: expose them to dequeuers.
 			q.oldTail.Store(env.State.Load(0))
@@ -131,12 +133,9 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
 	case WaitFree:
 		eo := &wfEnqObj{q: q, dummy: dummy, per: make([]roundScratch, n)}
 		do := &wfDeqObj{q: q, dummy: dummy}
-		mk := core.NewPWFComb
-		if opt.Sparse {
-			mk = core.NewPWFCombSparse
-		}
-		ie := mk(h, name+"/enq", n, eo)
-		id := mk(h, name+"/deq", n, do)
+		co := core.CombOpts{Sparse: opt.Sparse, VecCap: opt.VecCap}
+		ie := core.NewPWFCombWith(h, name+"/enq", n, eo, co)
+		id := core.NewPWFCombWith(h, name+"/deq", n, do, co)
 		ie.PostSC = func(env *core.Env, ok bool) { eo.commit(env.Combiner, ok) }
 		do.ie = ie
 		q.enq, q.deq = ie, id

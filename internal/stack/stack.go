@@ -58,6 +58,11 @@ type Options struct {
 	// copy and persistence). With a one-word state the win is small but the
 	// flag keeps the stack API uniform with the other structures.
 	Sparse bool
+	// VecCap builds the combining instance with vectorized-announcement
+	// support: threads may publish up to VecCap operations per slot toggle
+	// (0 or 1 = scalar only). Part of the persistent layout — re-open with
+	// the same value.
+	VecCap int
 }
 
 const (
@@ -79,6 +84,7 @@ type roundScratch struct {
 	alloc  []uint64 // nodes taken from the allocator this round
 	freed  []uint64 // nodes popped off the stack this round
 	paired []bool   // requests eliminated this round
+	open   []int    // unmatched-push stack for ordered elimination
 }
 
 func (o *obj) StateWords() int { return 1 }
@@ -157,7 +163,18 @@ func (o *obj) ApplyBatch(env *core.Env, reqs []core.Request) {
 // followed by its pop is a legal linearization of both). It fills in Ret on
 // the paired requests and returns a mask of the eliminated indices, or nil
 // if nothing paired.
+//
+// When the batch contains vectorized announcements, requests sharing a Tid
+// carry that thread's program order, so free pairing is no longer legal (it
+// could hand a pop the value of a push that follows it, or of the wrong
+// preceding push). Those batches use per-thread parenthesis matching
+// instead, which provably returns the sequential answers.
 func (o *obj) eliminate(sc *roundScratch, reqs []core.Request) []bool {
+	for i := range reqs {
+		if reqs[i].VecIndex() > 0 {
+			return o.eliminateOrdered(sc, reqs)
+		}
+	}
 	var pushes, pops []int
 	for i := range reqs {
 		switch reqs[i].Op {
@@ -190,6 +207,48 @@ func (o *obj) eliminate(sc *roundScratch, reqs []core.Request) []bool {
 	return paired
 }
 
+// eliminateOrdered is elimination for batches holding vectorized requests:
+// within each thread's (contiguous, program-ordered) run, a pop pairs with
+// the nearest preceding unmatched push. Removing such a pair never changes
+// any other request's outcome — the classic stack parenthesis property — so
+// the surviving requests applied in order still get sequential answers.
+// Cross-thread pairs are left to the stack itself; that forgoes some
+// elimination but keeps every vector's program order intact.
+func (o *obj) eliminateOrdered(sc *roundScratch, reqs []core.Request) []bool {
+	if cap(sc.paired) < len(reqs) {
+		sc.paired = make([]bool, len(reqs))
+	}
+	paired := sc.paired[:len(reqs)]
+	for i := range paired {
+		paired[i] = false
+	}
+	open := sc.open[:0]
+	any := false
+	for i := range reqs {
+		if i > 0 && reqs[i].Tid != reqs[i-1].Tid {
+			open = open[:0]
+		}
+		switch reqs[i].Op {
+		case OpPush:
+			open = append(open, i)
+		case OpPop:
+			if n := len(open); n > 0 {
+				j := open[n-1]
+				open = open[:n-1]
+				reqs[i].Ret = reqs[j].A0
+				reqs[j].Ret = PushOK
+				paired[i], paired[j] = true, true
+				any = true
+			}
+		}
+	}
+	sc.open = open[:0]
+	if !any {
+		return nil
+	}
+	return paired
+}
+
 // Stack is a detectably recoverable concurrent stack.
 type Stack struct {
 	comb core.Protocol
@@ -210,23 +269,14 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Stack {
 		per: make([]roundScratch, n),
 	}
 	s := &Stack{o: o}
+	co := core.CombOpts{Sparse: opt.Sparse, VecCap: opt.VecCap}
 	switch kind {
 	case Blocking:
-		var c *core.PBComb
-		if opt.Sparse {
-			c = core.NewPBCombSparse(h, name, n, o)
-		} else {
-			c = core.NewPBComb(h, name, n, o)
-		}
+		c := core.NewPBCombWith(h, name, n, o, co)
 		c.PostSync = func(env *core.Env) { o.commit(env.Combiner, true) }
 		s.comb = c
 	case WaitFree:
-		var c *core.PWFComb
-		if opt.Sparse {
-			c = core.NewPWFCombSparse(h, name, n, o)
-		} else {
-			c = core.NewPWFComb(h, name, n, o)
-		}
+		c := core.NewPWFCombWith(h, name, n, o, co)
 		c.PostSC = func(env *core.Env, ok bool) { o.commit(env.Combiner, ok) }
 		s.comb = c
 	default:

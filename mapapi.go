@@ -17,6 +17,12 @@ type MapOptions struct {
 	Shards int
 	// Capacity is the total slot count across shards (0 = 64 per shard).
 	Capacity int
+	// Dense disables the shards' sparse (dirty-line) persistence.
+	Dense bool
+	// VecCap enables the async Submit/Flush API with up to VecCap
+	// operations per announcement (0 or 1 = blocking API only). Part of the
+	// persistent layout — re-open with the same value.
+	VecCap int
 }
 
 // NewMap creates — or, after Crash, re-opens — a recoverable hash map.
@@ -29,7 +35,12 @@ func (s *System) NewMap(name string, threads int, kind Kind, opts ...MapOptions)
 	if kind == WaitFree {
 		k = hashmap.WaitFree
 	}
-	return &Map{m: hashmap.New(s.heap, name, threads, k, o.Shards, o.Capacity)}
+	return &Map{m: hashmap.NewWith(s.heap, name, threads, k, hashmap.Options{
+		Shards:   o.Shards,
+		Capacity: o.Capacity,
+		Dense:    o.Dense,
+		VecCap:   o.VecCap,
+	})}
 }
 
 // Put maps key to val for thread tid; existed reports whether a previous
@@ -47,6 +58,52 @@ func (m *Map) Delete(tid int, key uint64) (uint64, bool) { return m.m.Delete(tid
 // Recover resolves thread tid's interrupted operation exactly once.
 func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	return m.m.Recover(tid)
+}
+
+// SubmitPut stages a Put on the async pipelined path (requires
+// MapOptions.VecCap > 1); the Future's Wait returns the previous value (or
+// the map's not-found/full sentinels). The staged batch commits on Flush,
+// Wait, or when it reaches VecCap ops; a crash before that loses it
+// wholesale — pipelining trades per-op commit for per-batch commit.
+func (m *Map) SubmitPut(tid int, key, val uint64) Future { return m.m.SubmitPut(tid, key, val) }
+
+// SubmitGet stages a Get (requires MapOptions.VecCap > 1).
+func (m *Map) SubmitGet(tid int, key uint64) Future { return m.m.SubmitGet(tid, key) }
+
+// SubmitDelete stages a Delete (requires MapOptions.VecCap > 1).
+func (m *Map) SubmitDelete(tid int, key uint64) Future { return m.m.SubmitDelete(tid, key) }
+
+// Flush commits thread tid's staged operations durably. Ops are grouped by
+// shard; each group is one vectorized announcement, and groups commit one at
+// a time, so a crash interrupts at most one group (resolved by
+// RecoverBatch).
+func (m *Map) Flush(tid int) { m.m.Flush(tid) }
+
+// Pending returns the number of staged, unflushed ops of tid.
+func (m *Map) Pending(tid int) int { return m.m.Pending(tid) }
+
+// MapBatchOp is one operation of a recovered map batch.
+type MapBatchOp struct {
+	Op     uint64 // hashmap op code (Put/Get/Delete)
+	Key    uint64
+	Val    uint64
+	Result uint64
+}
+
+// RecoverBatch resolves thread tid's interrupted (sub-)batch after a crash —
+// exactly once — reporting every operation's result. Scalar pending ops are
+// resolved too, as one-op batches, so async callers need only this entry
+// point.
+func (m *Map) RecoverBatch(tid int) ([]MapBatchOp, bool) {
+	ops, ok := m.m.RecoverBatch(tid)
+	if !ok {
+		return nil, false
+	}
+	out := make([]MapBatchOp, len(ops))
+	for i, o := range ops {
+		out[i] = MapBatchOp{Op: o.Op, Key: o.Key, Val: o.Val, Result: o.Result}
+	}
+	return out, true
 }
 
 // Len returns the number of live keys (quiescent use only).

@@ -147,6 +147,10 @@ const (
 	OpDeleteMin
 	OpGetMin
 	OpInvoke
+	// OpBatch reports that Recover resolved an interrupted vectorized batch
+	// as a whole (result holds the batch length); RecoverBatch yields the
+	// per-op results.
+	OpBatch
 )
 
 func kindQueue(k Kind) queue.Kind {
@@ -191,6 +195,8 @@ func (o Op) String() string {
 		return "GetMin"
 	case OpInvoke:
 		return "Invoke"
+	case OpBatch:
+		return "Batch"
 	}
 	return "unknown"
 }

@@ -5,6 +5,7 @@ import (
 	"pcomb/internal/heap"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
+	"pcomb/internal/vecbatch"
 )
 
 // Queue is a detectably recoverable concurrent FIFO queue (PBqueue or
@@ -13,6 +14,13 @@ import (
 type Queue struct {
 	q   *queue.Queue
 	sys *sysArea
+
+	// Async pipelined submission (nil unless QueueOptions.VecCap > 1).
+	// Enqueues and dequeues stage separately — they run on separate
+	// combining instances — but never pend simultaneously: submitting one
+	// class flushes the other, preserving per-thread program order.
+	enqPipe *vecbatch.Pipe
+	deqPipe *vecbatch.Pipe
 }
 
 // QueueOptions tunes a queue instance; the zero value is sensible.
@@ -22,6 +30,10 @@ type QueueOptions struct {
 	NoRecycling bool
 	// Capacity bounds the node arena (0 = default).
 	Capacity int
+	// VecCap enables the async Submit/Flush API with up to VecCap
+	// operations per announcement (0 or 1 = blocking API only). Part of the
+	// persistent layout — re-open with the same value.
+	VecCap int
 }
 
 // NewQueue creates — or, after Crash, re-opens — a recoverable queue for
@@ -31,13 +43,19 @@ func (s *System) NewQueue(name string, threads int, kind Kind, opts ...QueueOpti
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &Queue{
+	q := &Queue{
 		q: queue.New(s.heap, name, threads, kindQueue(kind), queue.Options{
 			Recycling: kind == Blocking && !o.NoRecycling,
 			Capacity:  o.Capacity,
+			VecCap:    o.VecCap,
 		}),
 		sys: newSysArea(s.heap, name, threads),
 	}
+	if o.VecCap > 1 {
+		q.enqPipe = vecbatch.New(threads, o.VecCap, q.flushEnq)
+		q.deqPipe = vecbatch.New(threads, o.VecCap, q.flushDeq)
+	}
+	return q
 }
 
 // Enqueue appends v for thread tid.
@@ -64,6 +82,10 @@ func (q *Queue) Recover(tid int) (op Op, result uint64, pending bool) {
 	if !ok {
 		return OpNone, 0, false
 	}
+	if opc&vecMark != 0 {
+		ops, _ := q.RecoverBatch(tid)
+		return OpBatch, uint64(len(ops)), true
+	}
 	switch Op(opc) {
 	case OpEnqueue:
 		result = q.q.RecoverEnqueue(tid, a0, seq)
@@ -88,6 +110,9 @@ func (q *Queue) Len() int { return q.q.Len() }
 type Stack struct {
 	s   *stack.Stack
 	sys *sysArea
+
+	// pipe stages async submissions (nil unless StackOptions.VecCap > 1).
+	pipe *vecbatch.Pipe
 }
 
 // StackOptions tunes a stack instance; the zero value enables the paper's
@@ -99,6 +124,9 @@ type StackOptions struct {
 	NoRecycling bool
 	// Capacity bounds the node arena (0 = default).
 	Capacity int
+	// VecCap enables the async Submit/Flush API (0 or 1 = blocking only).
+	// Part of the persistent layout — re-open with the same value.
+	VecCap int
 }
 
 // NewStack creates — or re-opens — a recoverable stack.
@@ -107,14 +135,19 @@ func (s *System) NewStack(name string, threads int, kind Kind, opts ...StackOpti
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &Stack{
+	st := &Stack{
 		s: stack.New(s.heap, name, threads, kindStack(kind), stack.Options{
 			Elimination: !o.NoElimination,
 			Recycling:   !o.NoRecycling,
 			Capacity:    o.Capacity,
+			VecCap:      o.VecCap,
 		}),
 		sys: newSysArea(s.heap, name, threads),
 	}
+	if o.VecCap > 1 {
+		st.pipe = vecbatch.New(threads, o.VecCap, st.flushVec)
+	}
+	return st
 }
 
 // Push pushes v for thread tid.
@@ -137,6 +170,10 @@ func (st *Stack) Recover(tid int) (op Op, result uint64, pending bool) {
 	opc, a0, _, seq, ok := st.sys.pending(tid)
 	if !ok {
 		return OpNone, 0, false
+	}
+	if opc&vecMark != 0 {
+		ops, _ := st.RecoverBatch(tid)
+		return OpBatch, uint64(len(ops)), true
 	}
 	var inner uint64
 	switch Op(opc) {
@@ -161,15 +198,37 @@ func (st *Stack) Len() int { return st.s.Len() }
 type Heap struct {
 	h   *heap.Heap
 	sys *sysArea
+
+	// pipe stages async submissions (nil unless HeapOptions.VecCap > 1).
+	pipe *vecbatch.Pipe
+}
+
+// HeapOptions tunes a heap instance; the zero value is sensible.
+type HeapOptions struct {
+	// Sparse persists only the dirtied sift paths instead of the whole key
+	// array.
+	Sparse bool
+	// VecCap enables the async Submit/Flush API (0 or 1 = blocking only).
+	// Part of the persistent layout — re-open with the same value.
+	VecCap int
 }
 
 // NewHeap creates — or re-opens — a recoverable min-heap holding at most
 // bound keys.
-func (s *System) NewHeap(name string, threads int, kind Kind, bound int) *Heap {
-	return &Heap{
-		h:   heap.New(s.heap, name, threads, kindHeap(kind), bound),
+func (s *System) NewHeap(name string, threads int, kind Kind, bound int, opts ...HeapOptions) *Heap {
+	var o HeapOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	h := &Heap{
+		h: heap.NewWith(s.heap, name, threads, kindHeap(kind), bound,
+			core.CombOpts{Sparse: o.Sparse, VecCap: o.VecCap}),
 		sys: newSysArea(s.heap, name, threads),
 	}
+	if o.VecCap > 1 {
+		h.pipe = vecbatch.New(threads, o.VecCap, h.flushVec)
+	}
+	return h
 }
 
 // Insert adds key; it reports false when the heap is full.
@@ -202,6 +261,10 @@ func (h *Heap) Recover(tid int) (op Op, result uint64, pending bool) {
 	if !ok {
 		return OpNone, 0, false
 	}
+	if opc&vecMark != 0 {
+		ops, _ := h.RecoverBatch(tid)
+		return OpBatch, uint64(len(ops)), true
+	}
 	var inner uint64
 	switch Op(opc) {
 	case OpInsert:
@@ -227,17 +290,39 @@ func (h *Heap) Keys() []uint64 { return h.h.Keys() }
 type Recoverable struct {
 	c   core.Protocol
 	sys *sysArea
+
+	// pipe stages async submissions (nil unless ObjectOptions.VecCap > 1).
+	pipe *vecbatch.Pipe
+}
+
+// ObjectOptions tunes a Recoverable instance; the zero value is sensible.
+type ObjectOptions struct {
+	// Sparse persists only dirtied state lines; the Object must report
+	// every state write via Env.MarkDirty.
+	Sparse bool
+	// VecCap enables the async Submit/Flush API (0 or 1 = blocking only).
+	// Part of the persistent layout — re-open with the same value.
+	VecCap int
 }
 
 // NewObject creates — or re-opens — a recoverable version of obj.
-func (s *System) NewObject(name string, threads int, kind Kind, obj Object) *Recoverable {
+func (s *System) NewObject(name string, threads int, kind Kind, obj Object, opts ...ObjectOptions) *Recoverable {
+	var o ObjectOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	co := core.CombOpts{Sparse: o.Sparse, VecCap: o.VecCap}
 	var c core.Protocol
 	if kind == WaitFree {
-		c = core.NewPWFComb(s.heap, name, threads, obj)
+		c = core.NewPWFCombWith(s.heap, name, threads, obj, co)
 	} else {
-		c = core.NewPBComb(s.heap, name, threads, obj)
+		c = core.NewPBCombWith(s.heap, name, threads, obj, co)
 	}
-	return &Recoverable{c: c, sys: newSysArea(s.heap, name, threads)}
+	r := &Recoverable{c: c, sys: newSysArea(s.heap, name, threads)}
+	if o.VecCap > 1 {
+		r.pipe = vecbatch.New(threads, o.VecCap, r.flushVec)
+	}
+	return r
 }
 
 // Invoke runs one operation (op, a0, a1 are interpreted by the Object).
@@ -254,6 +339,10 @@ func (r *Recoverable) Recover(tid int) (op uint64, result uint64, pending bool) 
 	opc, a0, a1, seq, ok := r.sys.pending(tid)
 	if !ok {
 		return 0, 0, false
+	}
+	if opc&vecMark != 0 {
+		ops, _ := r.RecoverBatch(tid)
+		return opc, uint64(len(ops)), true
 	}
 	result = r.c.Recover(tid, opc, a0, a1, seq)
 	r.sys.end(tid)
