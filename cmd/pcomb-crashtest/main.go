@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"pcomb/internal/core"
 	"pcomb/internal/crashtest"
 	"pcomb/internal/hashmap"
 	"pcomb/internal/heap"
@@ -94,6 +95,72 @@ func targets() []target {
 	}
 }
 
+// cliVecCap is the vector capacity of the CLI's vectorized matrix variants.
+const cliVecCap = 4
+
+// matrixVariants appends the {dense,sparse} x {scalar,vectorized} matrix
+// variants that the curated list above does not already cover, with
+// CLI-sized capacities (campaign op counts are much larger than the unit
+// tests'). Every variant implements crashtest.HistoryDriver, so -durlin
+// validates each round's history against the sequential model.
+func matrixVariants() []target {
+	var out []target
+	add := func(mk func(n int) func(int64) crashtest.Driver) {
+		out = append(out, target{mk(2)(0).Name(), mk})
+	}
+	variants := [][2]int{{1, 0}, {0, cliVecCap}, {1, cliVecCap}} // sparse/dense flag, veccap
+	for _, kind := range []queue.Kind{queue.Blocking, queue.WaitFree} {
+		for _, v := range variants {
+			kind, sp, vc := kind, v[0] == 1, v[1]
+			add(func(n int) func(int64) crashtest.Driver {
+				return func(s int64) crashtest.Driver {
+					return crashtest.NewQueueDriver(kind, queue.Options{Capacity: 1 << 20, Sparse: sp, VecCap: vc}, n, s)
+				}
+			})
+		}
+	}
+	for _, kind := range []stack.Kind{stack.Blocking, stack.WaitFree} {
+		for _, v := range variants {
+			kind, sp, vc := kind, v[0] == 1, v[1]
+			add(func(n int) func(int64) crashtest.Driver {
+				return func(s int64) crashtest.Driver {
+					return crashtest.NewStackDriver(kind, stack.Options{Capacity: 1 << 20, Sparse: sp, VecCap: vc}, n, s)
+				}
+			})
+		}
+	}
+	for _, kind := range []heap.Kind{heap.Blocking, heap.WaitFree} {
+		for _, v := range variants {
+			kind, sp, vc := kind, v[0] == 1, v[1]
+			add(func(n int) func(int64) crashtest.Driver {
+				return func(s int64) crashtest.Driver {
+					return crashtest.NewHeapDriverWith(kind, 1024, n, s, core.CombOpts{Sparse: sp, VecCap: vc})
+				}
+			})
+		}
+	}
+	for _, kind := range []hashmap.Kind{hashmap.Blocking, hashmap.WaitFree} {
+		for _, v := range variants {
+			kind, dense, vc := kind, v[0] == 1, v[1]
+			add(func(n int) func(int64) crashtest.Driver {
+				return func(s int64) crashtest.Driver {
+					return crashtest.NewMapDriverWith(kind, hashmap.Options{Shards: 8, Dense: dense, VecCap: vc}, n, s)
+				}
+			})
+		}
+	}
+	for _, wf := range []bool{false, true} {
+		wf := wf
+		add(func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewRegisterDriverWith(wf, true, n, s) }
+		})
+		add(func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewBatchRegisterDriverWith(wf, true, n, s) }
+		})
+	}
+	return out
+}
+
 // wantTarget matches -target against a full target name ("queue/PBqueue"),
 // its structure group ("queue"), or "all".
 func wantTarget(sel, name string) bool {
@@ -114,6 +181,10 @@ func main() {
 		budget   = flag.Int("budget", 0, "enumerate: max crash points per run (0 = all)")
 		replay   = flag.String("replay", "", "re-execute one failing schedule (seed:round:point:policy; needs a single -target)")
 		deadline = flag.Duration("deadline", 0, "wall-clock cap; exceeds -> truncate, hard-exit 2 shortly after")
+
+		durlin       = flag.Bool("durlin", false, "record per-round histories and check durable linearizability (crash-cut semantics)")
+		durlinBudget = flag.Int64("durlin-budget", 0, "checker step budget per round (0 = default)")
+		durlinMaxOps = flag.Int("durlin-maxops", 0, "skip non-partitionable history checks beyond this many ops (0 = default)")
 	)
 	flag.Parse()
 
@@ -141,6 +212,7 @@ func main() {
 		Threads: *threads, Ops: *ops, Rounds: *rounds,
 		Torn: *torn, Corrupt: *corrupt, DoubleCrash: *double,
 		Budget: *budget, Faults: &stats,
+		DurLin: *durlin, DurLinBudget: *durlinBudget, DurLinMaxOps: *durlinMaxOps,
 	}
 	if *deadline > 0 {
 		baseCfg.Deadline = time.Now().Add(*deadline)
@@ -153,7 +225,7 @@ func main() {
 	}
 
 	selected := make([]target, 0, 10)
-	for _, t := range targets() {
+	for _, t := range append(targets(), matrixVariants()...) {
 		if wantTarget(*tgt, t.name) {
 			selected = append(selected, t)
 		}

@@ -1,5 +1,17 @@
 package core
 
+import "sync/atomic"
+
+// recoverSabotage, when set, makes Recover/RecoverVec skip the re-announce
+// and conditional re-perform and hand back whatever the return slot holds —
+// the exact bug class (a dropped republish step) the durable-linearizability
+// checker exists to catch. Mutation-test use only.
+var recoverSabotage atomic.Bool
+
+// SetRecoverSabotage switches the deliberate recovery bug on or off
+// (mutation tests verify the history checker rejects the sabotaged run).
+func SetRecoverSabotage(on bool) { recoverSabotage.Store(on) }
+
 // CombTracker observes combining-protocol-level events: rounds and their
 // combining degree, operations completed by helping, failed acquisitions,
 // and StateRec copy churn. obs.CombStats implements it; install one with

@@ -303,6 +303,12 @@ func (c *PBComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 	if c.durableOnly {
 		panic("core: the durably-linearizable-only variant has null recovery (no Recover)")
 	}
+	if recoverSabotage.Load() {
+		// Mutation-test bug: skip the republish and hand back the (possibly
+		// stale) return slot unconditionally.
+		mi := c.meta.Load(0)
+		return c.state.Load(c.recOff(mi) + c.retSlot(tid))
+	}
 	// Re-announce with the original toggle so a combiner neither re-executes
 	// a request that took effect nor skips one that did not.
 	c.req[tid].announce(op, a0, a1, seq&1)

@@ -306,6 +306,11 @@ func (c *PWFComb) noteContentionW(tid int) {
 
 // Recover is the recovery function for thread tid's interrupted operation.
 func (c *PWFComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
+	if recoverSabotage.Load() {
+		// Mutation-test bug: skip the republish and hand back the (possibly
+		// stale) return slot unconditionally.
+		return c.readRecWord(tid, c.retSlot(tid))
+	}
 	c.req[tid].announce(op, a0, a1, seq&1)
 	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {
 		return c.perform(tid)

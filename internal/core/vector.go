@@ -193,6 +193,12 @@ func (c *PBComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
 		return
 	}
 	c.checkVec(cnt, rets)
+	if recoverSabotage.Load() {
+		// Mutation-test bug: skip republish/re-announce/re-perform and hand
+		// back whatever the return blocks hold.
+		c.collectRets(tid, cnt, rets)
+		return
+	}
 	c.PublishVec(tid, ops)
 	c.req[tid].announceVec(cnt, seq&1)
 	mi := c.meta.Load(0)
@@ -210,6 +216,12 @@ func (c *PWFComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
 		return
 	}
 	c.checkVec(cnt, rets)
+	if recoverSabotage.Load() {
+		// Mutation-test bug: skip republish/re-announce/re-perform and hand
+		// back whatever the return blocks hold.
+		c.collectRets(tid, cnt, rets)
+		return
+	}
 	c.PublishVec(tid, ops)
 	c.req[tid].announceVec(cnt, seq&1)
 	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcomb/internal/core"
+	lin "pcomb/internal/linearizability"
 	"pcomb/internal/pmem"
 )
 
@@ -17,10 +18,13 @@ const batchVecCap = 4
 // pendingVec is what a worker's vectorized announcement was doing at the
 // crash: the driver-kept operations (the source of truth — the crash may
 // have torn the persistent argument ring mid-publish) and the seq toggle.
+// cls distinguishes per-class vectors on structures with more than one
+// combining instance (the queue's enqueue/dequeue split).
 type pendingVec struct {
 	active bool
 	ops    []core.VecOp
 	seq    uint64
+	cls    uint64
 }
 
 // vecRec is one completed vector: its ops and their responses.
@@ -30,14 +34,16 @@ type vecRec struct {
 }
 
 // batchRegisterDriver targets the vectorized-announcement path
-// (PublishVec/PerformVec/RecoverVec) on the sparse protocols with a wide
-// register file. Every step announces a whole vector of writes with varying
-// length; each write's response is the word's previous value, so the model
-// knows the exact expected response of every op of every vector — a vector
-// applied twice, applied partially, or resolved with stale return slots
-// surfaces as a response or word mismatch.
+// (PublishVec/PerformVec/RecoverVec) with a wide register file. Every step
+// announces a whole vector of writes with varying length; each write's
+// response is the word's previous value, so the model knows the exact
+// expected response of every op of every vector — a vector applied twice,
+// applied partially, or resolved with stale return slots surfaces as a
+// response or word mismatch.
 type batchRegisterDriver struct {
+	durlin
 	waitFree bool
+	dense    bool
 	n        int
 
 	c  core.Protocol
@@ -46,6 +52,7 @@ type batchRegisterDriver struct {
 	seq  []uint64
 	vals []uint64 // last resolved value per word (0 = initial)
 
+	initWords []uint64 // durable word values at round start
 	pend      []pendingVec
 	localVecs [][]vecRec
 	resolved  []bool
@@ -56,9 +63,16 @@ type batchRegisterDriver struct {
 // NewBatchRegisterDriver builds a vectorized register target on the sparse
 // protocols (PB when waitFree is false, PWF otherwise).
 func NewBatchRegisterDriver(waitFree bool, n int, seed int64) Driver {
+	return NewBatchRegisterDriverWith(waitFree, false, n, seed)
+}
+
+// NewBatchRegisterDriverWith selects the persistence variant explicitly:
+// dense (whole-state copy) or sparse (dirty-line copy and persistence).
+func NewBatchRegisterDriverWith(waitFree, dense bool, n int, seed int64) Driver {
 	_ = seed // the schedule is seq-deterministic; no per-thread rngs
 	return &batchRegisterDriver{
 		waitFree: waitFree,
+		dense:    dense,
 		n:        n,
 		seq:      make([]uint64, n),
 		vals:     make([]uint64, n*wordsPerThread),
@@ -66,15 +80,19 @@ func NewBatchRegisterDriver(waitFree bool, n int, seed int64) Driver {
 }
 
 func (d *batchRegisterDriver) Name() string {
+	base := "register/PBbatch"
 	if d.waitFree {
-		return "register/PWFbatch"
+		base = "register/PWFbatch"
 	}
-	return "register/PBbatch"
+	if d.dense {
+		base += "-dense"
+	}
+	return base
 }
 
 func (d *batchRegisterDriver) Open(h *pmem.Heap) {
 	obj := core.RegisterFile{Words: d.n * wordsPerThread}
-	o := core.CombOpts{Sparse: true, VecCap: batchVecCap}
+	o := core.CombOpts{Sparse: !d.dense, VecCap: batchVecCap}
 	if d.waitFree {
 		c := core.NewPWFCombWith(h, "fb", d.n, obj, o)
 		d.c, d.vp = c, c
@@ -82,9 +100,16 @@ func (d *batchRegisterDriver) Open(h *pmem.Heap) {
 		c := core.NewPBCombWith(h, "fb", d.n, obj, o)
 		d.c, d.vp = c, c
 	}
+	d.durCut()
 }
 
 func (d *batchRegisterDriver) BeginRound(round int) {
+	d.durBegin(d.n)
+	st := d.c.CurrentState()
+	d.initWords = make([]uint64, d.n*wordsPerThread)
+	for w := range d.initWords {
+		d.initWords[w] = st.Load(w)
+	}
 	d.pend = make([]pendingVec, d.n)
 	d.localVecs = make([][]vecRec, d.n)
 	d.resolved = make([]bool, d.n)
@@ -106,8 +131,19 @@ func (d *batchRegisterDriver) Step(tid, i int) {
 		ops[j] = core.VecOp{Op: core.OpRegWrite, A0: word, A1: val}
 	}
 	d.pend[tid] = pendingVec{active: true, ops: ops, seq: d.seq[tid]}
+	h := d.rec
+	if h != nil {
+		for _, op := range ops {
+			h.Begin(tid, lin.KindWrite, op.A0, op.A1)
+		}
+	}
 	rets := make([]uint64, cnt)
 	d.vp.InvokeVec(tid, ops, d.seq[tid], rets)
+	if h != nil {
+		for j := range ops {
+			h.End(tid, rets[j])
+		}
+	}
 	d.localVecs[tid] = append(d.localVecs[tid], vecRec{ops: ops, rets: rets})
 	d.pend[tid].active = false
 }
@@ -150,6 +186,11 @@ func (d *batchRegisterDriver) Recover() (int, error) {
 		d.vp.RecoverVec(tid, p.ops, p.seq, rets)
 		d.resolved[tid] = true
 		d.recovered++
+		if h := d.rec; h != nil {
+			for j := range rets {
+				h.Resolve(tid, rets[j])
+			}
+		}
 		if err := d.foldVec(p.ops, rets, "recovered"); err != nil {
 			return d.recovered, err
 		}
@@ -165,6 +206,16 @@ func (d *batchRegisterDriver) Check() error {
 		}
 	}
 	return nil
+}
+
+// CheckHistory implements HistoryDriver: same word-partitioned check as the
+// scalar register target — each vectorized write is an independent single
+// word op under durable linearizability.
+func (d *batchRegisterDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	return registerCheckHistory(&d.durlin, d.c, d.initWords)
 }
 
 // FuzzBatchRegister crash-fuzzes the vectorized-announcement register target

@@ -68,15 +68,17 @@ type Driver interface {
 
 // Report summarizes one crash-testing campaign.
 type Report struct {
-	Seeds      int
-	Crashes    int
-	Recovered  int // interrupted operations resolved via recovery functions
-	OpsApplied uint64
-	Points     int   // crash points explored (enumerate)
-	Doubles    int   // nested crash-during-recovery rounds survived
-	TornLines  int   // cache lines the adversary persisted partially
-	Events     int64 // persistence events observed (enumerate record run)
-	Truncated  bool  // a budget or deadline cut exploration short
+	Seeds       int
+	Crashes     int
+	Recovered   int // interrupted operations resolved via recovery functions
+	OpsApplied  uint64
+	Points      int   // crash points explored (enumerate)
+	Doubles     int   // nested crash-during-recovery rounds survived
+	TornLines   int   // cache lines the adversary persisted partially
+	Events      int64 // persistence events observed (enumerate record run)
+	HistChecked int   // rounds whose recorded history passed the durable-lin checker
+	HistSkipped int   // rounds whose history check was skipped (size or budget)
+	Truncated   bool  // a budget or deadline cut exploration short
 }
 
 func (r Report) String() string {
@@ -90,6 +92,12 @@ func (r Report) String() string {
 	}
 	if r.TornLines > 0 {
 		s += fmt.Sprintf(" torn-lines=%d", r.TornLines)
+	}
+	if r.HistChecked > 0 || r.HistSkipped > 0 {
+		s += fmt.Sprintf(" histories=%d", r.HistChecked)
+		if r.HistSkipped > 0 {
+			s += fmt.Sprintf(" hist-skipped=%d", r.HistSkipped)
+		}
 	}
 	if r.Truncated {
 		s += " (truncated)"
@@ -106,6 +114,8 @@ func (r *Report) merge(o Report) {
 	r.Doubles += o.Doubles
 	r.TornLines += o.TornLines
 	r.Events += o.Events
+	r.HistChecked += o.HistChecked
+	r.HistSkipped += o.HistSkipped
 	r.Truncated = r.Truncated || o.Truncated
 }
 
@@ -127,6 +137,16 @@ type Config struct {
 	Budget   int       // enumerate: max crash points per campaign (0 = all)
 	Deadline time.Time // stop starting new work past this instant (zero = none)
 	Retries  int       // confirmation replays per shrink candidate (default 2)
+
+	// DurLin turns on history recording + durable-linearizability checking
+	// for drivers that support it (HistoryDriver): each round's pre-crash
+	// history, recovered responses, and a post-recovery state audit are
+	// validated against the structure's sequential model under crash-cut
+	// semantics — the oracle of record alongside the drivers' cheap
+	// prior-value models.
+	DurLin       bool
+	DurLinBudget int64 // checker step budget per round (0 = default)
+	DurLinMaxOps int   // skip non-partitionable checks beyond this many ops (0 = default)
 
 	Faults *obs.FaultStats // optional shared fault-injection counters
 }

@@ -3,9 +3,11 @@ package crashtest
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"pcomb/internal/core"
 	"pcomb/internal/heap"
+	lin "pcomb/internal/linearizability"
 	"pcomb/internal/pmem"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
@@ -27,6 +29,7 @@ type pendingOp struct {
 // resolved increment returns a distinct previous value, and the durable
 // total equals the number of resolved operations.
 type counterDriver struct {
+	durlin
 	waitFree bool
 	n        int
 
@@ -36,6 +39,7 @@ type counterDriver struct {
 	rets  map[uint64]bool
 	total uint64
 
+	initial   uint64 // durable counter value at round start (history model seed)
 	pend      []pendingOp
 	localRets [][]uint64
 	resolved  []bool
@@ -68,9 +72,12 @@ func (d *counterDriver) Open(h *pmem.Heap) {
 	} else {
 		d.c = core.NewPBComb(h, "fc", d.n, core.Counter{})
 	}
+	d.durCut()
 }
 
 func (d *counterDriver) BeginRound(round int) {
+	d.durBegin(d.n)
+	d.initial = d.c.CurrentState().Load(0)
 	d.pend = make([]pendingOp, d.n)
 	d.localRets = make([][]uint64, d.n)
 	d.resolved = make([]bool, d.n)
@@ -81,7 +88,14 @@ func (d *counterDriver) BeginRound(round int) {
 func (d *counterDriver) Step(tid, i int) {
 	d.seq[tid]++
 	d.pend[tid] = pendingOp{active: true, op: core.OpCounterAdd, a0: 1, seq: d.seq[tid]}
-	r := d.c.Invoke(tid, core.OpCounterAdd, 1, 0, d.seq[tid])
+	var r uint64
+	if h := d.rec; h != nil {
+		h.Begin(tid, lin.KindAdd, 1, 0)
+		r = d.c.Invoke(tid, core.OpCounterAdd, 1, 0, d.seq[tid])
+		h.End(tid, r)
+	} else {
+		r = d.c.Invoke(tid, core.OpCounterAdd, 1, 0, d.seq[tid])
+	}
 	d.localRets[tid] = append(d.localRets[tid], r)
 	d.pend[tid].active = false
 }
@@ -122,22 +136,36 @@ func (d *counterDriver) Check() error {
 	return nil
 }
 
+// CheckHistory implements HistoryDriver: one audit read of the durable total
+// closes the round history over the counter model.
+func (d *counterDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	audit := lin.Op{Kind: lin.KindRead, Out: d.c.CurrentState().Load(0)}
+	return d.checkWhole(lin.CounterModel{Initial: d.initial}, []lin.Op{audit})
+}
+
 // queueDriver targets PBqueue/PWFqueue: every value is unique, so the
 // checker accounts for every operation exactly once (no lost or duplicated
 // enqueues/dequeues, conserved residue).
 type queueDriver struct {
+	durlin
 	kind queue.Kind
 	opt  queue.Options
 	n    int
 	seed int64
 
-	q *queue.Queue
+	q        *queue.Queue
+	evp, dvp core.VecProtocol // set in vec mode (opt.VecCap > 1)
 
 	eseq, dseq         []uint64
 	enqueued, consumed map[uint64]bool
 
 	round              int
+	initial            []uint64
 	pend               []pendingOp
+	pendVec            []pendingVec
 	localEnq, localCon [][]uint64
 	tRngs              []*rand.Rand
 	resolved           []bool
@@ -145,7 +173,9 @@ type queueDriver struct {
 	recovered          int
 }
 
-// NewQueueDriver builds a queue target for n threads.
+// NewQueueDriver builds a queue target for n threads. With opt.VecCap > 1
+// the driver issues vectorized enqueue/dequeue announcements instead of
+// scalar operations.
 func NewQueueDriver(kind queue.Kind, opt queue.Options, n int, seed int64) Driver {
 	return &queueDriver{
 		kind: kind, opt: opt, n: n, seed: seed,
@@ -154,18 +184,41 @@ func NewQueueDriver(kind queue.Kind, opt queue.Options, n int, seed int64) Drive
 	}
 }
 
+func (d *queueDriver) vec() bool { return d.opt.VecCap > 1 }
+
 func (d *queueDriver) Name() string {
+	base := "queue/PBqueue"
 	if d.kind == queue.WaitFree {
-		return "queue/PWFqueue"
+		base = "queue/PWFqueue"
 	}
-	return "queue/PBqueue"
+	if d.opt.Sparse {
+		base += "-sparse"
+	}
+	if d.vec() {
+		base += "-vec"
+	}
+	return base
 }
 
-func (d *queueDriver) Open(h *pmem.Heap) { d.q = queue.New(h, "fq", d.n, d.kind, d.opt) }
+func (d *queueDriver) Open(h *pmem.Heap) {
+	d.q = queue.New(h, "fq", d.n, d.kind, d.opt)
+	if d.vec() {
+		d.evp = d.q.EnqProtocol().(core.VecProtocol)
+		d.dvp = d.q.DeqProtocol().(core.VecProtocol)
+	} else {
+		d.q.SetHistory(d.rec)
+	}
+	d.durCut()
+}
 
 func (d *queueDriver) BeginRound(round int) {
 	d.round = round
+	if rec := d.durBegin(d.n); !d.vec() {
+		d.q.SetHistory(rec)
+	}
+	d.initial = d.q.Snapshot()
 	d.pend = make([]pendingOp, d.n)
+	d.pendVec = make([]pendingVec, d.n)
 	d.localEnq = make([][]uint64, d.n)
 	d.localCon = make([][]uint64, d.n)
 	d.tRngs = make([]*rand.Rand, d.n)
@@ -178,6 +231,10 @@ func (d *queueDriver) BeginRound(round int) {
 }
 
 func (d *queueDriver) Step(tid, i int) {
+	if d.vec() {
+		d.stepVec(tid, i)
+		return
+	}
 	r := d.tRngs[tid]
 	if r.Intn(2) == 0 {
 		v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
@@ -196,6 +253,65 @@ func (d *queueDriver) Step(tid, i int) {
 	}
 }
 
+// stepVec issues one vector of up to VecCap same-class operations (the queue
+// splits enqueues and dequeues over two combining instances, so a vector is
+// per-class). The driver records history directly around InvokeVec: a crash
+// anywhere inside leaves exactly the vector's ops pending.
+func (d *queueDriver) stepVec(tid, i int) {
+	r := d.tRngs[tid]
+	cnt := r.Intn(d.opt.VecCap) + 1
+	h := d.rec
+	if r.Intn(2) == 0 {
+		d.eseq[tid]++
+		ops := make([]core.VecOp, cnt)
+		for j := range ops {
+			v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i+1)<<8 | uint64(j+1)
+			ops[j] = core.VecOp{Op: queue.OpEnq, A0: v}
+		}
+		d.pendVec[tid] = pendingVec{active: true, ops: ops, seq: d.eseq[tid], cls: queue.OpEnq}
+		if h != nil {
+			for _, op := range ops {
+				h.Begin(tid, queue.OpEnq, op.A0, 0)
+			}
+		}
+		rets := make([]uint64, cnt)
+		d.evp.InvokeVec(tid, ops, d.eseq[tid], rets)
+		if h != nil {
+			for range ops {
+				h.End(tid, queue.EnqOK)
+			}
+		}
+		for _, op := range ops {
+			d.localEnq[tid] = append(d.localEnq[tid], op.A0)
+		}
+	} else {
+		d.dseq[tid]++
+		ops := make([]core.VecOp, cnt)
+		for j := range ops {
+			ops[j] = core.VecOp{Op: queue.OpDeq}
+		}
+		d.pendVec[tid] = pendingVec{active: true, ops: ops, seq: d.dseq[tid], cls: queue.OpDeq}
+		if h != nil {
+			for range ops {
+				h.Begin(tid, queue.OpDeq, 0, 0)
+			}
+		}
+		rets := make([]uint64, cnt)
+		d.dvp.InvokeVec(tid, ops, d.dseq[tid], rets)
+		if h != nil {
+			for j := range ops {
+				h.End(tid, rets[j])
+			}
+		}
+		for _, v := range rets {
+			if v != queue.Empty {
+				d.localCon[tid] = append(d.localCon[tid], v)
+			}
+		}
+	}
+	d.pendVec[tid].active = false
+}
+
 func (d *queueDriver) Recover() (int, error) {
 	if !d.folded {
 		for tid := 0; tid < d.n; tid++ {
@@ -212,27 +328,71 @@ func (d *queueDriver) Recover() (int, error) {
 		d.folded = true
 	}
 	for tid := 0; tid < d.n; tid++ {
-		if !d.pend[tid].active || d.resolved[tid] {
+		if d.resolved[tid] {
 			continue
 		}
-		if d.pend[tid].op == queue.OpEnq {
-			d.q.RecoverEnqueue(tid, d.pend[tid].a0, d.pend[tid].seq)
-			d.resolved[tid] = true
-			d.recovered++
-			d.enqueued[d.pend[tid].a0] = true
-		} else {
-			v, ok := d.q.RecoverDequeue(tid, d.pend[tid].seq)
-			d.resolved[tid] = true
-			d.recovered++
-			if ok {
-				if d.consumed[v] {
-					return d.recovered, fmt.Errorf("recovered dequeue re-consumed %x", v)
+		switch {
+		case d.vec() && d.pendVec[tid].active:
+			if err := d.recoverVec(tid); err != nil {
+				return d.recovered, err
+			}
+		case !d.vec() && d.pend[tid].active:
+			if d.pend[tid].op == queue.OpEnq {
+				d.q.RecoverEnqueue(tid, d.pend[tid].a0, d.pend[tid].seq)
+				d.resolved[tid] = true
+				d.recovered++
+				d.enqueued[d.pend[tid].a0] = true
+			} else {
+				v, ok := d.q.RecoverDequeue(tid, d.pend[tid].seq)
+				d.resolved[tid] = true
+				d.recovered++
+				if ok {
+					if d.consumed[v] {
+						return d.recovered, fmt.Errorf("recovered dequeue re-consumed %x", v)
+					}
+					d.consumed[v] = true
 				}
-				d.consumed[v] = true
 			}
 		}
 	}
 	return d.recovered, nil
+}
+
+func (d *queueDriver) recoverVec(tid int) error {
+	p := d.pendVec[tid]
+	vp := d.dvp
+	if p.cls == queue.OpEnq {
+		vp = d.evp
+	}
+	rets := make([]uint64, len(p.ops))
+	vp.RecoverVec(tid, p.ops, p.seq, rets)
+	d.resolved[tid] = true
+	d.recovered++
+	if h := d.rec; h != nil {
+		for j := range rets {
+			out := rets[j]
+			if p.cls == queue.OpEnq {
+				out = queue.EnqOK
+			}
+			h.Resolve(tid, out)
+		}
+	}
+	if p.cls == queue.OpEnq {
+		for _, op := range p.ops {
+			d.enqueued[op.A0] = true
+		}
+		return nil
+	}
+	for _, v := range rets {
+		if v == queue.Empty {
+			continue
+		}
+		if d.consumed[v] {
+			return fmt.Errorf("recovered dequeue vector re-consumed %x", v)
+		}
+		d.consumed[v] = true
+	}
+	return nil
 }
 
 func (d *queueDriver) Check() error {
@@ -263,20 +423,42 @@ func (d *queueDriver) Check() error {
 	return nil
 }
 
-// stackDriver is the LIFO analogue of queueDriver.
+// CheckHistory implements HistoryDriver: the surviving residue becomes audit
+// dequeues in FIFO order plus one empty-check, and the whole round must
+// durably linearize over the queue model seeded with the round-start
+// snapshot.
+func (d *queueDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	var audits []lin.Op
+	for _, v := range d.q.Snapshot() {
+		audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: v})
+	}
+	audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: lin.EmptyOut})
+	return d.checkWhole(lin.QueueModel{Initial: d.initial}, audits)
+}
+
+// stackDriver is the LIFO analogue of queueDriver. In vec mode each step
+// publishes one mixed push/pop vector on the stack's single combining
+// instance.
 type stackDriver struct {
+	durlin
 	kind stack.Kind
 	opt  stack.Options
 	n    int
 	seed int64
 
-	s *stack.Stack
+	s  *stack.Stack
+	vp core.VecProtocol // set in vec mode
 
 	seq            []uint64
 	pushed, popped map[uint64]bool
 
 	round               int
+	initial             []uint64
 	pend                []pendingOp
+	pendVec             []pendingVec
 	localPush, localPop [][]uint64
 	tRngs               []*rand.Rand
 	resolved            []bool
@@ -284,7 +466,8 @@ type stackDriver struct {
 	recovered           int
 }
 
-// NewStackDriver builds a stack target for n threads.
+// NewStackDriver builds a stack target for n threads. With opt.VecCap > 1
+// the driver issues vectorized mixed push/pop announcements.
 func NewStackDriver(kind stack.Kind, opt stack.Options, n int, seed int64) Driver {
 	return &stackDriver{
 		kind: kind, opt: opt, n: n, seed: seed,
@@ -293,18 +476,44 @@ func NewStackDriver(kind stack.Kind, opt stack.Options, n int, seed int64) Drive
 	}
 }
 
+func (d *stackDriver) vec() bool { return d.opt.VecCap > 1 }
+
 func (d *stackDriver) Name() string {
+	base := "stack/PBstack"
 	if d.kind == stack.WaitFree {
-		return "stack/PWFstack"
+		base = "stack/PWFstack"
 	}
-	return "stack/PBstack"
+	if d.opt.Sparse {
+		base += "-sparse"
+	}
+	if d.vec() {
+		base += "-vec"
+	}
+	return base
 }
 
-func (d *stackDriver) Open(h *pmem.Heap) { d.s = stack.New(h, "fs", d.n, d.kind, d.opt) }
+func (d *stackDriver) Open(h *pmem.Heap) {
+	d.s = stack.New(h, "fs", d.n, d.kind, d.opt)
+	if d.vec() {
+		d.vp = d.s.Protocol().(core.VecProtocol)
+	} else {
+		d.s.SetHistory(d.rec)
+	}
+	d.durCut()
+}
 
 func (d *stackDriver) BeginRound(round int) {
 	d.round = round
+	if rec := d.durBegin(d.n); !d.vec() {
+		d.s.SetHistory(rec)
+	}
+	snap := d.s.Snapshot() // top-to-bottom; the model wants bottom-first
+	d.initial = make([]uint64, len(snap))
+	for i, v := range snap {
+		d.initial[len(snap)-1-i] = v
+	}
 	d.pend = make([]pendingOp, d.n)
+	d.pendVec = make([]pendingVec, d.n)
 	d.localPush = make([][]uint64, d.n)
 	d.localPop = make([][]uint64, d.n)
 	d.tRngs = make([]*rand.Rand, d.n)
@@ -317,6 +526,10 @@ func (d *stackDriver) BeginRound(round int) {
 }
 
 func (d *stackDriver) Step(tid, i int) {
+	if d.vec() {
+		d.stepVec(tid, i)
+		return
+	}
 	r := d.tRngs[tid]
 	d.seq[tid]++
 	if r.Intn(2) == 0 {
@@ -331,6 +544,47 @@ func (d *stackDriver) Step(tid, i int) {
 		}
 	}
 	d.pend[tid].active = false
+}
+
+// stepVec publishes one mixed push/pop vector; the driver records history
+// directly around InvokeVec.
+func (d *stackDriver) stepVec(tid, i int) {
+	r := d.tRngs[tid]
+	cnt := r.Intn(d.opt.VecCap) + 1
+	d.seq[tid]++
+	ops := make([]core.VecOp, cnt)
+	for j := range ops {
+		if r.Intn(2) == 0 {
+			v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i+1)<<8 | uint64(j+1)
+			ops[j] = core.VecOp{Op: stack.OpPush, A0: v}
+		} else {
+			ops[j] = core.VecOp{Op: stack.OpPop}
+		}
+	}
+	d.pendVec[tid] = pendingVec{active: true, ops: ops, seq: d.seq[tid]}
+	h := d.rec
+	if h != nil {
+		for _, op := range ops {
+			h.Begin(tid, op.Op, op.A0, 0)
+		}
+	}
+	rets := make([]uint64, cnt)
+	d.vp.InvokeVec(tid, ops, d.seq[tid], rets)
+	for j, op := range ops {
+		out := rets[j]
+		if op.Op == stack.OpPush {
+			out = stack.PushOK
+		}
+		if h != nil {
+			h.End(tid, out)
+		}
+		if op.Op == stack.OpPush {
+			d.localPush[tid] = append(d.localPush[tid], op.A0)
+		} else if rets[j] != stack.Empty {
+			d.localPop[tid] = append(d.localPop[tid], rets[j])
+		}
+	}
+	d.pendVec[tid].active = false
 }
 
 func (d *stackDriver) Recover() (int, error) {
@@ -349,22 +603,56 @@ func (d *stackDriver) Recover() (int, error) {
 		d.folded = true
 	}
 	for tid := 0; tid < d.n; tid++ {
-		if !d.pend[tid].active || d.resolved[tid] {
+		if d.resolved[tid] {
 			continue
 		}
-		ret := d.s.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
-		d.resolved[tid] = true
-		d.recovered++
-		if d.pend[tid].op == stack.OpPush {
-			d.pushed[d.pend[tid].a0] = true
-		} else if ret != stack.Empty {
-			if d.popped[ret] {
-				return d.recovered, fmt.Errorf("recovered pop re-consumed %x", ret)
+		switch {
+		case d.vec() && d.pendVec[tid].active:
+			if err := d.recoverVec(tid); err != nil {
+				return d.recovered, err
 			}
-			d.popped[ret] = true
+		case !d.vec() && d.pend[tid].active:
+			ret := d.s.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
+			d.resolved[tid] = true
+			d.recovered++
+			if d.pend[tid].op == stack.OpPush {
+				d.pushed[d.pend[tid].a0] = true
+			} else if ret != stack.Empty {
+				if d.popped[ret] {
+					return d.recovered, fmt.Errorf("recovered pop re-consumed %x", ret)
+				}
+				d.popped[ret] = true
+			}
 		}
 	}
 	return d.recovered, nil
+}
+
+func (d *stackDriver) recoverVec(tid int) error {
+	p := d.pendVec[tid]
+	rets := make([]uint64, len(p.ops))
+	d.vp.RecoverVec(tid, p.ops, p.seq, rets)
+	d.resolved[tid] = true
+	d.recovered++
+	h := d.rec
+	for j, op := range p.ops {
+		out := rets[j]
+		if op.Op == stack.OpPush {
+			out = stack.PushOK
+		}
+		if h != nil {
+			h.Resolve(tid, out)
+		}
+		if op.Op == stack.OpPush {
+			d.pushed[op.A0] = true
+		} else if rets[j] != stack.Empty {
+			if d.popped[rets[j]] {
+				return fmt.Errorf("recovered pop vector re-consumed %x", rets[j])
+			}
+			d.popped[rets[j]] = true
+		}
+	}
+	return nil
 }
 
 func (d *stackDriver) Check() error {
@@ -383,21 +671,41 @@ func (d *stackDriver) Check() error {
 	return nil
 }
 
+// CheckHistory implements HistoryDriver: the surviving residue becomes audit
+// pops in top-to-bottom order plus one empty-check over the stack model.
+func (d *stackDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	var audits []lin.Op
+	for _, v := range d.s.Snapshot() {
+		audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: v})
+	}
+	audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: lin.EmptyOut})
+	return d.checkWhole(lin.StackModel{Initial: d.initial}, audits)
+}
+
 // heapDriver targets PBheap/PWFheap: key conservation plus the heap
-// invariant after every recovery.
+// invariant after every recovery. In vec mode each step publishes one mixed
+// insert/delete-min vector.
 type heapDriver struct {
+	durlin
 	kind  heap.Kind
 	bound int
 	n     int
 	seed  int64
+	co    core.CombOpts
 
 	hp *heap.Heap
+	vp core.VecProtocol // set in vec mode
 
 	seq               []uint64
 	inserted, deleted map[uint64]int
 
 	round      int
+	initial    []uint64
 	pend       []pendingOp
+	pendVec    []pendingVec
 	localIns   [][]uint64
 	localInsOK [][]bool
 	localDel   [][]uint64
@@ -409,25 +717,53 @@ type heapDriver struct {
 
 // NewHeapDriver builds a priority-queue target for n threads.
 func NewHeapDriver(kind heap.Kind, bound, n int, seed int64) Driver {
+	return NewHeapDriverWith(kind, bound, n, seed, core.CombOpts{})
+}
+
+// NewHeapDriverWith is NewHeapDriver with explicit combining options; with
+// co.VecCap > 1 the driver issues vectorized announcements.
+func NewHeapDriverWith(kind heap.Kind, bound, n int, seed int64, co core.CombOpts) Driver {
 	return &heapDriver{
-		kind: kind, bound: bound, n: n, seed: seed,
+		kind: kind, bound: bound, n: n, seed: seed, co: co,
 		seq:      make([]uint64, n),
 		inserted: map[uint64]int{}, deleted: map[uint64]int{},
 	}
 }
 
+func (d *heapDriver) vec() bool { return d.co.VecCap > 1 }
+
 func (d *heapDriver) Name() string {
+	base := "heap/PBheap"
 	if d.kind == heap.WaitFree {
-		return "heap/PWFheap"
+		base = "heap/PWFheap"
 	}
-	return "heap/PBheap"
+	if d.co.Sparse {
+		base += "-sparse"
+	}
+	if d.vec() {
+		base += "-vec"
+	}
+	return base
 }
 
-func (d *heapDriver) Open(h *pmem.Heap) { d.hp = heap.New(h, "fh", d.n, d.kind, d.bound) }
+func (d *heapDriver) Open(h *pmem.Heap) {
+	d.hp = heap.NewWith(h, "fh", d.n, d.kind, d.bound, d.co)
+	if d.vec() {
+		d.vp = d.hp.Protocol().(core.VecProtocol)
+	} else {
+		d.hp.SetHistory(d.rec)
+	}
+	d.durCut()
+}
 
 func (d *heapDriver) BeginRound(round int) {
 	d.round = round
+	if rec := d.durBegin(d.n); !d.vec() {
+		d.hp.SetHistory(rec)
+	}
+	d.initial = d.hp.Keys()
 	d.pend = make([]pendingOp, d.n)
+	d.pendVec = make([]pendingVec, d.n)
 	d.localIns = make([][]uint64, d.n)
 	d.localInsOK = make([][]bool, d.n)
 	d.localDel = make([][]uint64, d.n)
@@ -441,6 +777,10 @@ func (d *heapDriver) BeginRound(round int) {
 }
 
 func (d *heapDriver) Step(tid, i int) {
+	if d.vec() {
+		d.stepVec(tid, i)
+		return
+	}
 	r := d.tRngs[tid]
 	d.seq[tid]++
 	if r.Intn(2) == 0 {
@@ -458,6 +798,44 @@ func (d *heapDriver) Step(tid, i int) {
 	d.pend[tid].active = false
 }
 
+// stepVec publishes one mixed insert/delete-min vector; the driver records
+// history directly around InvokeVec.
+func (d *heapDriver) stepVec(tid, i int) {
+	r := d.tRngs[tid]
+	cnt := r.Intn(d.co.VecCap) + 1
+	d.seq[tid]++
+	ops := make([]core.VecOp, cnt)
+	for j := range ops {
+		if r.Intn(2) == 0 {
+			key := uint64(d.round+1)<<40 | uint64(tid+1)<<24 | uint64(i+1)<<8 | uint64(j+1)
+			ops[j] = core.VecOp{Op: heap.OpInsert, A0: key}
+		} else {
+			ops[j] = core.VecOp{Op: heap.OpDeleteMin}
+		}
+	}
+	d.pendVec[tid] = pendingVec{active: true, ops: ops, seq: d.seq[tid]}
+	h := d.rec
+	if h != nil {
+		for _, op := range ops {
+			h.Begin(tid, op.Op, op.A0, 0)
+		}
+	}
+	rets := make([]uint64, cnt)
+	d.vp.InvokeVec(tid, ops, d.seq[tid], rets)
+	for j, op := range ops {
+		if h != nil {
+			h.End(tid, rets[j])
+		}
+		if op.Op == heap.OpInsert {
+			d.localIns[tid] = append(d.localIns[tid], op.A0)
+			d.localInsOK[tid] = append(d.localInsOK[tid], rets[j] == heap.InsertOK)
+		} else if rets[j] != heap.Empty {
+			d.localDel[tid] = append(d.localDel[tid], rets[j])
+		}
+	}
+	d.pendVec[tid].active = false
+}
+
 func (d *heapDriver) Recover() (int, error) {
 	if !d.folded {
 		for tid := 0; tid < d.n; tid++ {
@@ -473,18 +851,40 @@ func (d *heapDriver) Recover() (int, error) {
 		d.folded = true
 	}
 	for tid := 0; tid < d.n; tid++ {
-		if !d.pend[tid].active || d.resolved[tid] {
+		if d.resolved[tid] {
 			continue
 		}
-		ret := d.hp.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
-		d.resolved[tid] = true
-		d.recovered++
-		if d.pend[tid].op == heap.OpInsert {
-			if ret == heap.InsertOK {
-				d.inserted[d.pend[tid].a0]++
+		switch {
+		case d.vec() && d.pendVec[tid].active:
+			p := d.pendVec[tid]
+			rets := make([]uint64, len(p.ops))
+			d.vp.RecoverVec(tid, p.ops, p.seq, rets)
+			d.resolved[tid] = true
+			d.recovered++
+			h := d.rec
+			for j, op := range p.ops {
+				if h != nil {
+					h.Resolve(tid, rets[j])
+				}
+				if op.Op == heap.OpInsert {
+					if rets[j] == heap.InsertOK {
+						d.inserted[op.A0]++
+					}
+				} else if rets[j] != heap.Empty {
+					d.deleted[rets[j]]++
+				}
 			}
-		} else if ret != heap.Empty {
-			d.deleted[ret]++
+		case !d.vec() && d.pend[tid].active:
+			ret := d.hp.Recover(tid, d.pend[tid].op, d.pend[tid].a0, d.pend[tid].seq)
+			d.resolved[tid] = true
+			d.recovered++
+			if d.pend[tid].op == heap.OpInsert {
+				if ret == heap.InsertOK {
+					d.inserted[d.pend[tid].a0]++
+				}
+			} else if ret != heap.Empty {
+				d.deleted[ret]++
+			}
 		}
 	}
 	return d.recovered, nil
@@ -514,6 +914,22 @@ func (d *heapDriver) Check() error {
 		}
 	}
 	return nil
+}
+
+// CheckHistory implements HistoryDriver: the surviving keys become audit
+// delete-mins in ascending order plus one empty-check over the heap model.
+func (d *heapDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	keys := d.hp.Keys()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var audits []lin.Op
+	for _, k := range keys {
+		audits = append(audits, lin.Op{Kind: lin.KindDelMin, Out: k})
+	}
+	audits = append(audits, lin.Op{Kind: lin.KindDelMin, Out: lin.EmptyOut})
+	return d.checkWhole(lin.HeapModel{Initial: d.initial, Bound: d.bound}, audits)
 }
 
 // FuzzQueue runs a seeded fuzz campaign against one queue instance and

@@ -1,0 +1,116 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"pcomb/internal/history"
+	lin "pcomb/internal/linearizability"
+)
+
+// DurLinOpts parameterizes per-round durable-linearizability checking.
+type DurLinOpts struct {
+	// Budget caps the checker's step attempts per round (0 = a default
+	// generous enough for the suite's round sizes).
+	Budget int64
+	// MaxOps skips the check for non-partitionable structures (queue, stack,
+	// heap, counter) when a round recorded more operations than this — the
+	// search is exponential in the worst case, and a skipped round is counted
+	// in the report rather than hidden. Key-partitioned structures (map,
+	// register) are always checked. 0 = default.
+	MaxOps int
+}
+
+// DefaultDurLinMaxOps bounds non-partitionable per-round history sizes; at
+// the suite's thread counts the memoized search settles such rounds well
+// inside the step budget.
+const DefaultDurLinMaxOps = 160
+
+// HistoryDriver is a Driver that can record per-round operation histories
+// and validate them under durable-linearizability crash-cut semantics. The
+// engines enable it when Config.DurLin is set and call CheckHistory after
+// each round's recovery and state check.
+type HistoryDriver interface {
+	Driver
+	// EnableDurLin switches history recording on for subsequent rounds.
+	EnableDurLin(DurLinOpts)
+	// CheckHistory validates the round's recorded history. checked is false
+	// when the check was skipped (recording off, history too large, or the
+	// work budget ran out before the search settled).
+	CheckHistory() (checked bool, err error)
+}
+
+// durlin is the recording state drivers embed to implement HistoryDriver:
+// one recorder per round, a crash-cut stamp on every re-open, and the two
+// verdict helpers below.
+type durlin struct {
+	durOn   bool
+	durOpts DurLinOpts
+	rec     *history.Recorder
+}
+
+// EnableDurLin implements HistoryDriver.
+func (d *durlin) EnableDurLin(o DurLinOpts) {
+	if o.Budget <= 0 {
+		o.Budget = lin.DefaultBudget
+	}
+	if o.MaxOps <= 0 {
+		o.MaxOps = DefaultDurLinMaxOps
+	}
+	d.durOn, d.durOpts = true, o
+}
+
+// durBegin starts a fresh round history for n threads (nil when recording is
+// off). Drivers call it from BeginRound and install the recorder on their
+// structure wrapper (or record directly).
+func (d *durlin) durBegin(n int) *history.Recorder {
+	if !d.durOn {
+		d.rec = nil
+		return nil
+	}
+	d.rec = history.New(n)
+	return d.rec
+}
+
+// durCut stamps the crash cut on the current round's history. Drivers call
+// it from Open, which the engine invokes exactly once per crash (plus the
+// campaign-start open, where no recorder exists yet).
+func (d *durlin) durCut() {
+	if d.rec != nil {
+		d.rec.Cut()
+	}
+}
+
+// checkWhole runs the un-partitioned checker over the round history plus the
+// caller's state audits, honoring the MaxOps skip guard.
+func (d *durlin) checkWhole(m lin.Model, audits []lin.Op) (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	hist := lin.AppendAudits(d.rec.Ops(), audits...)
+	if len(hist) > d.durOpts.MaxOps {
+		return false, nil
+	}
+	return d.verdict(lin.CheckDurable(m, hist, lin.Opts{Budget: d.durOpts.Budget}))
+}
+
+// checkPartitioned runs the key-partitioned checker (no MaxOps guard — each
+// class's sub-history is small and the budget is shared).
+func (d *durlin) checkPartitioned(mk func(class uint64) lin.Model, part func(lin.Op) uint64, audits []lin.Op) (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	hist := lin.AppendAudits(d.rec.Ops(), audits...)
+	return d.verdict(lin.CheckDurablePartitioned(mk, part, hist, lin.Opts{Budget: d.durOpts.Budget}))
+}
+
+// verdict folds a checker result into CheckHistory's contract: violations
+// are errors, an exhausted budget is a counted skip, Ok is a counted check.
+func (d *durlin) verdict(res lin.Result) (bool, error) {
+	switch res.Outcome {
+	case lin.Ok:
+		return true, nil
+	case lin.Exhausted:
+		return false, nil
+	}
+	return true, fmt.Errorf("durable-linearizability violation: %w", res.Err())
+}

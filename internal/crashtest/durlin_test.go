@@ -1,0 +1,219 @@
+package crashtest
+
+import (
+	"strings"
+	"testing"
+
+	"pcomb/internal/core"
+	"pcomb/internal/history"
+	lin "pcomb/internal/linearizability"
+	"pcomb/internal/pmem"
+	"pcomb/internal/queue"
+)
+
+// TestMatrixTargetNames pins the matrix shape: every {protocol} x
+// {dense,sparse} x {scalar,vec} combination of every structure is present
+// exactly once under a stable name.
+func TestMatrixTargetNames(t *testing.T) {
+	targets := MatrixTargets(2)
+	seen := map[string]bool{}
+	for _, tg := range targets {
+		if seen[tg.Name] {
+			t.Fatalf("duplicate target name %q", tg.Name)
+		}
+		seen[tg.Name] = true
+		if got := tg.Mk(1).Name(); got != tg.Name {
+			t.Fatalf("target %q builds driver named %q", tg.Name, got)
+		}
+	}
+	// 2 counters + 8 each for queue/stack/heap/map + 8 register variants.
+	if len(targets) != 42 {
+		t.Fatalf("matrix has %d targets, want 42", len(targets))
+	}
+	for _, want := range []string{
+		"counter/PWFcomb",
+		"queue/PBqueue", "queue/PWFqueue-sparse-vec",
+		"stack/PBstack-vec", "stack/PWFstack-sparse",
+		"heap/PBheap-sparse", "heap/PWFheap-vec",
+		"map/PBmap-vec", "map/PWFmap-dense",
+		"register/PBdense", "register/PWFsparse",
+		"register/PBbatch", "register/PWFbatch-dense",
+	} {
+		if !seen[want] {
+			t.Fatalf("matrix is missing target %q", want)
+		}
+	}
+}
+
+// TestRecoverAndDurLinMatrix sweeps the full structure x protocol x variant
+// matrix under crash fuzzing with durable-linearizability checking: every
+// round's recorded history (completed, pending, and recovered operations
+// plus a post-recovery state audit) must admit a legal crash-cut
+// linearization.
+func TestRecoverAndDurLinMatrix(t *testing.T) {
+	recovered := 0
+	for _, tg := range MatrixTargets(3) {
+		tg := tg
+		t.Run(strings.ReplaceAll(tg.Name, "/", "_"), func(t *testing.T) {
+			cfg := Config{
+				Threads: 3, Ops: 14, Rounds: 2, Seed: 7,
+				DurLin: true, DurLinMaxOps: 320,
+			}
+			rep, fail := Fuzz(tg.Mk, cfg)
+			if fail != nil {
+				t.Fatalf("%s: %v (replay %s)", tg.Name, fail.Err, fail.Spec.Token())
+			}
+			if rep.HistChecked+rep.HistSkipped != cfg.Rounds {
+				t.Fatalf("%s: %d histories checked + %d skipped, want %d rounds",
+					tg.Name, rep.HistChecked, rep.HistSkipped, cfg.Rounds)
+			}
+			if rep.HistChecked == 0 {
+				t.Fatalf("%s: every round's history check was skipped", tg.Name)
+			}
+			recovered += rep.Recovered
+		})
+	}
+	// The matrix as a whole must actually exercise recovery paths; individual
+	// targets may crash at quiescent points on any given seed.
+	t.Cleanup(func() {
+		if !t.Failed() && recovered == 0 {
+			t.Errorf("no interrupted operation was ever recovered across the matrix")
+		}
+	})
+}
+
+// TestDurLinEnumerate runs systematic crash-point enumeration with the
+// durable-linearizability checker on representative scalar and batched
+// targets of every structure.
+func TestDurLinEnumerate(t *testing.T) {
+	byName := map[string]Target{}
+	for _, tg := range MatrixTargets(2) {
+		byName[tg.Name] = tg
+	}
+	for _, name := range []string{
+		"counter/PBcomb",
+		"queue/PWFqueue",
+		"queue/PBqueue-vec",
+		"stack/PBstack",
+		"heap/PWFheap-vec",
+		"map/PBmap-vec",
+		"map/PWFmap",
+		"register/PWFbatch",
+	} {
+		tg, ok := byName[name]
+		if !ok {
+			t.Fatalf("matrix has no target %q", name)
+		}
+		t.Run(strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{
+				Threads: 2, Ops: 6, Seed: 9, Budget: 48,
+				DurLin: true, DurLinMaxOps: 320,
+			}
+			rep, fail := Enumerate(tg.Mk, cfg)
+			if fail != nil {
+				t.Fatalf("%s: %v (replay %s)", name, fail.Err, fail.Spec.Token())
+			}
+			if rep.HistChecked == 0 {
+				t.Fatalf("%s: enumeration never completed a history check (skipped %d)",
+					name, rep.HistSkipped)
+			}
+		})
+	}
+}
+
+// TestMutationCheckerCatchesSabotagedRecovery is the checker's mutation
+// test: a seeded recovery bug (core.SetRecoverSabotage skips the
+// republish/re-announce/re-perform of Recover and hands back a stale return
+// slot) must surface as a durable-linearizability violation — the recovered
+// enqueue's effect vanished even though its history entry says it resolved
+// exactly once. The clean control run of the identical schedule must pass.
+func TestMutationCheckerCatchesSabotagedRecovery(t *testing.T) {
+	for _, kind := range []queue.Kind{queue.Blocking, queue.WaitFree} {
+		for _, sabotage := range []bool{false, true} {
+			h := newShadowHeap()
+			q := queue.New(h, "mq", 1, kind, queue.Options{})
+			rec := history.New(1)
+			q.SetHistory(rec)
+			q.Enqueue(0, 100, 1)
+
+			// Crash at the very next persistence event: inside the second
+			// enqueue's argument publish, before it can take effect.
+			h.SetCrashAtEvent(1)
+			crashed := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(pmem.CrashError); !ok {
+							panic(r)
+						}
+						crashed = true
+					}
+				}()
+				q.Enqueue(0, 200, 2)
+			}()
+			if !crashed {
+				t.Fatal("second enqueue did not crash")
+			}
+			h.FinishCrash(pmem.DropUnfenced, 1)
+
+			q2 := queue.New(h, "mq", 1, kind, queue.Options{})
+			q2.SetHistory(rec)
+			rec.Cut()
+			core.SetRecoverSabotage(sabotage)
+			q2.RecoverEnqueue(0, 200, 2)
+			core.SetRecoverSabotage(false)
+
+			hist := rec.Ops()
+			var audits []lin.Op
+			for _, v := range q2.Snapshot() {
+				audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: v})
+			}
+			audits = append(audits, lin.Op{Kind: lin.KindDeq, Out: lin.EmptyOut})
+			res := lin.CheckDurable(lin.QueueModel{}, lin.AppendAudits(hist, audits...), lin.Opts{})
+			if sabotage && res.Outcome != lin.Violation {
+				t.Fatalf("kind %v: sabotaged recovery not flagged: %+v", kind, res)
+			}
+			if !sabotage && res.Outcome != lin.Ok {
+				t.Fatalf("kind %v: clean control run flagged: %+v (diag %s)", kind, res, res.Diag)
+			}
+		}
+	}
+}
+
+// TestMutationSabotagedCampaignsFail runs whole fuzz campaigns under the
+// seeded recovery bug: across the scalar and batched register targets the
+// harness (driver prior-value models + durable-lin checker) must kill the
+// mutant, and the identical clean campaigns must pass.
+func TestMutationSabotagedCampaignsFail(t *testing.T) {
+	targets := []Target{
+		{Name: "register/PBsparse", Mk: func(s int64) Driver { return NewRegisterDriver(false, 2, s) }},
+		{Name: "register/PWFbatch", Mk: func(s int64) Driver { return NewBatchRegisterDriver(true, 2, s) }},
+	}
+	for _, tg := range targets {
+		tg := tg
+		t.Run(strings.ReplaceAll(tg.Name, "/", "_"), func(t *testing.T) {
+			cfg := Config{Threads: 2, Ops: 40, Rounds: 6, Seed: 13, DurLin: true}
+			if _, fail := Fuzz(tg.Mk, cfg); fail != nil {
+				t.Fatalf("clean control campaign failed: %v", fail.Err)
+			}
+			core.SetRecoverSabotage(true)
+			defer core.SetRecoverSabotage(false)
+			killed := false
+			for seed := int64(13); seed < 23; seed++ {
+				cfg.Seed = seed
+				rep, fail := Fuzz(tg.Mk, cfg)
+				if fail != nil {
+					killed = true
+					break
+				}
+				if rep.Recovered > 0 {
+					t.Fatalf("seed %d: recovery ran under sabotage yet no check failed", seed)
+				}
+			}
+			if !killed {
+				t.Fatal("sabotaged recovery never detected (mutant survived)")
+			}
+		})
+	}
+}

@@ -180,6 +180,13 @@ func runCampaign(mk func(seed int64) Driver, cfg Config, plan []roundPlan) (Repo
 	d := mk(cfg.Seed)
 	h := newShadowHeap()
 	rep := Report{Seeds: 1}
+	var hd HistoryDriver
+	if cfg.DurLin {
+		if x, ok := d.(HistoryDriver); ok {
+			x.EnableDurLin(DurLinOpts{Budget: cfg.DurLinBudget, MaxOps: cfg.DurLinMaxOps})
+			hd = x
+		}
+	}
 	fail := func(r int, err error) (Report, *Failure) {
 		return rep, &Failure{
 			Target: d.Name(),
@@ -253,6 +260,23 @@ func runCampaign(mk func(seed int64) Driver, cfg Config, plan []roundPlan) (Repo
 		}
 		rep.Recovered += n - counted
 
+		// History first: the recorded history must be judged exactly as of
+		// recovery completion. Driver Check() may probe state through real
+		// operations (the map's oracle Gets), and with a recorder installed
+		// those probes would append to the round's history — their responses
+		// would mis-attach to operations a crashed flush left legitimately
+		// pending.
+		if hd != nil {
+			checked, err := hd.CheckHistory()
+			if err != nil {
+				return fail(r, err)
+			}
+			if checked {
+				rep.HistChecked++
+			} else {
+				rep.HistSkipped++
+			}
+		}
 		if err := d.Check(); err != nil {
 			return fail(r, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pcomb/internal/hashmap"
+	lin "pcomb/internal/linearizability"
 	"pcomb/internal/pmem"
 )
 
@@ -20,25 +21,35 @@ func mapCapacity(shards int) int { return shards * 128 }
 // the per-thread operation logs plus the recovery results. Keys are
 // disjoint per thread, so each thread's last committed write to a key is
 // the oracle value — no cross-thread ordering ambiguity.
+//
+// With opts.VecCap > 1 the driver exercises the async Submit/Flush path:
+// each step stages one vector of shard-homogeneous operations (all keys of
+// one flush hash to the same shard, so a flush is exactly one sub-batch and
+// a crash resolves unambiguously through RecoverBatch).
 type mapDriver struct {
-	kind     hashmap.Kind
-	shards   int
-	capacity int
-	n        int
-	seed     int64
+	durlin
+	kind hashmap.Kind
+	opts hashmap.Options
+	n    int
+	seed int64
 
 	m *hashmap.Map
 
 	oracle map[uint64]uint64
 
-	round      int
-	committed  [][]mapRec
-	pendOp     []mapRec
-	pendActive []bool
-	tRngs      []*rand.Rand
-	resolved   []bool
-	folded     bool
-	recovered  int
+	round         int
+	initVals      map[uint64]uint64
+	committed     [][]mapRec
+	pendOp        []mapRec
+	pendActive    []bool
+	pendVecOps    [][]mapRec
+	pendVecActive []bool
+	shardKeys     [][][]uint64 // vec mode: per-tid key candidates bucketed by shard
+	shardsUsable  [][]int      // vec mode: per-tid shard indices with a non-empty bucket
+	tRngs         []*rand.Rand
+	resolved      []bool
+	folded        bool
+	recovered     int
 }
 
 type mapRec struct {
@@ -47,28 +58,78 @@ type mapRec struct {
 
 // NewMapDriver builds a hash-map target for n threads.
 func NewMapDriver(kind hashmap.Kind, shards, n int, seed int64) Driver {
+	return NewMapDriverWith(kind, hashmap.Options{Shards: shards, Capacity: mapCapacity(shards)}, n, seed)
+}
+
+// NewMapDriverWith is NewMapDriver with explicit map options (dense
+// persistence, async vector capacity). A zero Capacity picks the harness
+// default for the shard count.
+func NewMapDriverWith(kind hashmap.Kind, opts hashmap.Options, n int, seed int64) Driver {
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = mapCapacity(opts.Shards)
+	}
 	return &mapDriver{
-		kind: kind, shards: shards, capacity: mapCapacity(shards), n: n, seed: seed,
+		kind: kind, opts: opts, n: n, seed: seed,
 		oracle: map[uint64]uint64{},
 	}
 }
 
+func (d *mapDriver) vec() bool { return d.opts.VecCap > 1 }
+
 func (d *mapDriver) Name() string {
+	base := "map/PBmap"
 	if d.kind == hashmap.WaitFree {
-		return "map/PWFmap"
+		base = "map/PWFmap"
 	}
-	return "map/PBmap"
+	if d.opts.Dense {
+		base += "-dense"
+	}
+	if d.vec() {
+		base += "-vec"
+	}
+	return base
 }
 
 func (d *mapDriver) Open(h *pmem.Heap) {
-	d.m = hashmap.New(h, "fm", d.n, d.kind, d.shards, d.capacity)
+	d.m = hashmap.NewWith(h, "fm", d.n, d.kind, d.opts)
+	d.m.SetHistory(d.rec)
+	d.durCut()
 }
 
 func (d *mapDriver) BeginRound(round int) {
 	d.round = round
+	d.m.SetHistory(d.durBegin(d.n))
+	d.initVals = map[uint64]uint64{}
+	d.m.Range(func(k, v uint64) bool {
+		d.initVals[k] = v
+		return true
+	})
 	d.committed = make([][]mapRec, d.n)
 	d.pendOp = make([]mapRec, d.n)
 	d.pendActive = make([]bool, d.n)
+	d.pendVecOps = make([][]mapRec, d.n)
+	d.pendVecActive = make([]bool, d.n)
+	if d.vec() {
+		d.shardKeys = make([][][]uint64, d.n)
+		d.shardsUsable = make([][]int, d.n)
+		for tid := 0; tid < d.n; tid++ {
+			buckets := make([][]uint64, d.m.Shards())
+			for k := 0; k < 64; k++ {
+				key := uint64(tid)<<32 | uint64(k) + 1
+				sh := d.m.ShardOf(key)
+				buckets[sh] = append(buckets[sh], key)
+			}
+			d.shardKeys[tid] = buckets
+			for sh, b := range buckets {
+				if len(b) > 0 {
+					d.shardsUsable[tid] = append(d.shardsUsable[tid], sh)
+				}
+			}
+		}
+	}
 	d.tRngs = make([]*rand.Rand, d.n)
 	for i := range d.tRngs {
 		d.tRngs[i] = rand.New(rand.NewSource(d.seed*11000 + int64(round*d.n+i)))
@@ -79,6 +140,10 @@ func (d *mapDriver) BeginRound(round int) {
 }
 
 func (d *mapDriver) Step(tid, i int) {
+	if d.vec() {
+		d.stepVec(tid, i)
+		return
+	}
 	r := d.tRngs[tid]
 	key := uint64(tid)<<32 | uint64(r.Intn(64)) + 1
 	switch r.Intn(3) {
@@ -102,6 +167,46 @@ func (d *mapDriver) Step(tid, i int) {
 	d.pendActive[tid] = false
 }
 
+// stepVec stages one shard-homogeneous vector through Submit/Flush. The map
+// wrapper itself records the flush's history (Begin per op before the group
+// publishes, End after it commits), so a crash leaves exactly the durably
+// recorded group pending and later-staged ops unrecorded (lost wholesale per
+// the async contract).
+func (d *mapDriver) stepVec(tid, i int) {
+	r := d.tRngs[tid]
+	usable := d.shardsUsable[tid]
+	bucket := d.shardKeys[tid][usable[r.Intn(len(usable))]]
+	cnt := r.Intn(d.opts.VecCap) + 1
+	recs := make([]mapRec, 0, cnt)
+	for j := 0; j < cnt; j++ {
+		key := bucket[r.Intn(len(bucket))]
+		switch r.Intn(3) {
+		case 0:
+			val := uint64(d.round+1)<<40 | uint64(i+1)<<8 | uint64(j+1)
+			recs = append(recs, mapRec{hashmap.OpPut, key, val})
+		case 1:
+			recs = append(recs, mapRec{hashmap.OpDel, key, 0})
+		default:
+			recs = append(recs, mapRec{hashmap.OpGet, key, 0})
+		}
+	}
+	d.pendVecOps[tid] = recs
+	d.pendVecActive[tid] = true
+	for _, rec := range recs {
+		switch rec.op {
+		case hashmap.OpPut:
+			d.m.SubmitPut(tid, rec.key, rec.val)
+		case hashmap.OpDel:
+			d.m.SubmitDelete(tid, rec.key)
+		default:
+			d.m.SubmitGet(tid, rec.key)
+		}
+	}
+	d.m.Flush(tid)
+	d.committed[tid] = append(d.committed[tid], recs...)
+	d.pendVecActive[tid] = false
+}
+
 func (d *mapDriver) Recover() (int, error) {
 	if !d.folded {
 		for tid := 0; tid < d.n; tid++ {
@@ -112,25 +217,48 @@ func (d *mapDriver) Recover() (int, error) {
 		d.folded = true
 	}
 	for tid := 0; tid < d.n; tid++ {
-		if !d.pendActive[tid] || d.resolved[tid] {
+		if d.resolved[tid] {
 			continue
 		}
-		op, key, _, pending := d.m.Recover(tid)
-		d.resolved[tid] = true
-		d.recovered++
-		if !pending {
-			return d.recovered, fmt.Errorf("in-flight op of tid %d not pending", tid)
+		switch {
+		case d.vec() && d.pendVecActive[tid]:
+			recops, pending := d.m.RecoverBatch(tid)
+			d.resolved[tid] = true
+			d.recovered++
+			if pending {
+				// The interrupted flush had durably recorded its (single,
+				// shard-homogeneous) sub-batch; its effects are now applied
+				// exactly once — fold them into the oracle in ring order.
+				for _, ro := range recops {
+					applyOracle(d.oracle, ro.Op, ro.Key, ro.Val)
+				}
+			}
+			// !pending: the crash hit before the sub-batch record was durable;
+			// the staged ops are lost wholesale (and their history entries, if
+			// any, stay pending — free to vanish under the crash-cut checker).
+		case !d.vec() && d.pendActive[tid]:
+			op, key, _, pending := d.m.Recover(tid)
+			d.resolved[tid] = true
+			d.recovered++
+			if !pending {
+				return d.recovered, fmt.Errorf("in-flight op of tid %d not pending", tid)
+			}
+			if op != d.pendOp[tid].op || key != d.pendOp[tid].key {
+				return d.recovered, fmt.Errorf("recovered wrong op (%d,%x) want (%d,%x)",
+					op, key, d.pendOp[tid].op, d.pendOp[tid].key)
+			}
+			applyOracle(d.oracle, d.pendOp[tid].op, d.pendOp[tid].key, d.pendOp[tid].val)
 		}
-		if op != d.pendOp[tid].op || key != d.pendOp[tid].key {
-			return d.recovered, fmt.Errorf("recovered wrong op (%d,%x) want (%d,%x)",
-				op, key, d.pendOp[tid].op, d.pendOp[tid].key)
-		}
-		applyOracle(d.oracle, d.pendOp[tid].op, d.pendOp[tid].key, d.pendOp[tid].val)
 	}
 	return d.recovered, nil
 }
 
 func (d *mapDriver) Check() error {
+	// The oracle probes below are real combining Gets; they audit state, they
+	// are not part of the workload. Detach the recorder so their responses
+	// cannot attach to operations a crashed flush left pending (BeginRound
+	// reinstalls the next round's recorder).
+	d.m.SetHistory(nil)
 	for key, want := range d.oracle {
 		got, ok := d.m.Get(int(key>>32), key)
 		if !ok || got != want {
@@ -151,6 +279,39 @@ func (d *mapDriver) Check() error {
 		return fmt.Errorf("map/oracle divergence (live=%d oracle=%d)", live, len(d.oracle))
 	}
 	return nil
+}
+
+// CheckHistory implements HistoryDriver: operations partition perfectly by
+// key, each class closing with one audit get of the key's final durable
+// value (absence = NotFound) over the per-key map model.
+func (d *mapDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	final := map[uint64]uint64{}
+	d.m.Range(func(k, v uint64) bool {
+		final[k] = v
+		return true
+	})
+	touched := map[uint64]bool{}
+	for _, op := range d.rec.Ops() {
+		touched[op.Arg] = true
+	}
+	var audits []lin.Op
+	for k := range touched {
+		out := lin.EmptyOut
+		if v, ok := final[k]; ok {
+			out = v
+		}
+		audits = append(audits, lin.Op{Kind: lin.KindGet, Arg: k, Out: out})
+	}
+	return d.checkPartitioned(func(class uint64) lin.Model {
+		init := lin.EmptyOut
+		if v, ok := d.initVals[class]; ok {
+			init = v
+		}
+		return lin.MapKeyModel{Initial: init}
+	}, func(op lin.Op) uint64 { return op.Arg }, audits)
 }
 
 // FuzzMap crash-fuzzes the sharded recoverable hash map (compatibility

@@ -1,0 +1,93 @@
+package crashtest
+
+import (
+	"pcomb/internal/core"
+	"pcomb/internal/hashmap"
+	"pcomb/internal/heap"
+	"pcomb/internal/queue"
+	"pcomb/internal/stack"
+)
+
+// Target couples a stable name with a driver factory, so test tables and the
+// CLI can sweep the full correctness matrix without repeating constructor
+// plumbing. The name always equals the driver's Name().
+type Target struct {
+	Name string
+	Mk   func(seed int64) Driver
+}
+
+// matrixVecCap is the vector capacity of the structure targets' vectorized
+// variants (the batched register target keeps its own batchVecCap).
+const matrixVecCap = 3
+
+// MatrixTargets enumerates the full durable-linearizability correctness
+// matrix for n threads: {PBcomb, PWFcomb} x {dense, sparse} x {scalar,
+// vectorized/batched} across queue, stack, heap, hash map and register file,
+// plus the two counters. Every target implements HistoryDriver, so a
+// campaign with Config.DurLin validates each round's recorded history
+// against the structure's sequential model under crash-cut semantics.
+func MatrixTargets(n int) []Target {
+	var out []Target
+	add := func(mk func(seed int64) Driver) {
+		out = append(out, Target{Name: mk(0).Name(), Mk: mk})
+	}
+
+	for _, wf := range []bool{false, true} {
+		wf := wf
+		add(func(s int64) Driver { return NewCounterDriver(wf, n, s) })
+	}
+
+	for _, kind := range []queue.Kind{queue.Blocking, queue.WaitFree} {
+		for _, sparse := range []bool{false, true} {
+			for _, vcap := range []int{0, matrixVecCap} {
+				kind, sparse, vcap := kind, sparse, vcap
+				add(func(s int64) Driver {
+					return NewQueueDriver(kind, queue.Options{Sparse: sparse, VecCap: vcap}, n, s)
+				})
+			}
+		}
+	}
+
+	for _, kind := range []stack.Kind{stack.Blocking, stack.WaitFree} {
+		for _, sparse := range []bool{false, true} {
+			for _, vcap := range []int{0, matrixVecCap} {
+				kind, sparse, vcap := kind, sparse, vcap
+				add(func(s int64) Driver {
+					return NewStackDriver(kind, stack.Options{Sparse: sparse, VecCap: vcap}, n, s)
+				})
+			}
+		}
+	}
+
+	for _, kind := range []heap.Kind{heap.Blocking, heap.WaitFree} {
+		for _, sparse := range []bool{false, true} {
+			for _, vcap := range []int{0, matrixVecCap} {
+				kind, sparse, vcap := kind, sparse, vcap
+				add(func(s int64) Driver {
+					return NewHeapDriverWith(kind, 256, n, s, core.CombOpts{Sparse: sparse, VecCap: vcap})
+				})
+			}
+		}
+	}
+
+	for _, kind := range []hashmap.Kind{hashmap.Blocking, hashmap.WaitFree} {
+		for _, dense := range []bool{false, true} {
+			for _, vcap := range []int{0, matrixVecCap} {
+				kind, dense, vcap := kind, dense, vcap
+				add(func(s int64) Driver {
+					return NewMapDriverWith(kind, hashmap.Options{Shards: 4, Dense: dense, VecCap: vcap}, n, s)
+				})
+			}
+		}
+	}
+
+	for _, wf := range []bool{false, true} {
+		for _, dense := range []bool{false, true} {
+			wf, dense := wf, dense
+			add(func(s int64) Driver { return NewRegisterDriverWith(wf, dense, n, s) })
+			add(func(s int64) Driver { return NewBatchRegisterDriverWith(wf, dense, n, s) })
+		}
+	}
+
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pcomb/internal/core"
+	lin "pcomb/internal/linearizability"
 	"pcomb/internal/pmem"
 )
 
@@ -13,14 +14,16 @@ import (
 // tear.
 const wordsPerThread = 16
 
-// registerDriver targets the sparse combining variants directly with a wide
+// registerDriver targets the combining variants directly with a wide
 // register file. Each thread writes monotonically increasing values into its
 // private word range, so the checker knows every word's exact durable value:
 // a line dropped from a sparse persist, or a stale line leaked by an
 // under-approximated dirty set, surfaces as a word mismatch; a re-executed
 // recovery surfaces as a wrong previous-value return.
 type registerDriver struct {
+	durlin
 	waitFree bool
+	dense    bool
 	n        int
 
 	c core.Protocol
@@ -28,6 +31,7 @@ type registerDriver struct {
 	seq  []uint64
 	vals []uint64 // last resolved value per word (0 = initial)
 
+	initWords   []uint64 // durable word values at round start
 	pend        []pendingOp
 	localWrites [][][3]uint64 // per-thread completed ops: [word, val, ret]
 	resolved    []bool
@@ -38,9 +42,16 @@ type registerDriver struct {
 // NewRegisterDriver builds a sparse-protocol register target
 // (NewPBCombSparse when waitFree is false, NewPWFCombSparse otherwise).
 func NewRegisterDriver(waitFree bool, n int, seed int64) Driver {
+	return NewRegisterDriverWith(waitFree, false, n, seed)
+}
+
+// NewRegisterDriverWith selects the persistence variant explicitly: dense
+// (whole-state copy) or sparse (dirty-line copy and persistence).
+func NewRegisterDriverWith(waitFree, dense bool, n int, seed int64) Driver {
 	_ = seed // the schedule is seq-deterministic; no per-thread rngs
 	return &registerDriver{
 		waitFree: waitFree,
+		dense:    dense,
 		n:        n,
 		seq:      make([]uint64, n),
 		vals:     make([]uint64, n*wordsPerThread),
@@ -48,22 +59,34 @@ func NewRegisterDriver(waitFree bool, n int, seed int64) Driver {
 }
 
 func (d *registerDriver) Name() string {
+	base, variant := "register/PB", "sparse"
 	if d.waitFree {
-		return "register/PWFsparse"
+		base = "register/PWF"
 	}
-	return "register/PBsparse"
+	if d.dense {
+		variant = "dense"
+	}
+	return base + variant
 }
 
 func (d *registerDriver) Open(h *pmem.Heap) {
 	obj := core.RegisterFile{Words: d.n * wordsPerThread}
+	o := core.CombOpts{Sparse: !d.dense}
 	if d.waitFree {
-		d.c = core.NewPWFCombSparse(h, "fr", d.n, obj)
+		d.c = core.NewPWFCombWith(h, "fr", d.n, obj, o)
 	} else {
-		d.c = core.NewPBCombSparse(h, "fr", d.n, obj)
+		d.c = core.NewPBCombWith(h, "fr", d.n, obj, o)
 	}
+	d.durCut()
 }
 
 func (d *registerDriver) BeginRound(round int) {
+	d.durBegin(d.n)
+	st := d.c.CurrentState()
+	d.initWords = make([]uint64, d.n*wordsPerThread)
+	for w := range d.initWords {
+		d.initWords[w] = st.Load(w)
+	}
 	d.pend = make([]pendingOp, d.n)
 	d.localWrites = make([][][3]uint64, d.n)
 	d.resolved = make([]bool, d.n)
@@ -76,7 +99,14 @@ func (d *registerDriver) Step(tid, i int) {
 	word := uint64(tid*wordsPerThread) + d.seq[tid]%wordsPerThread
 	val := d.seq[tid]<<8 | uint64(tid)
 	d.pend[tid] = pendingOp{active: true, op: core.OpRegWrite, a0: word, a1: val, seq: d.seq[tid]}
-	ret := d.c.Invoke(tid, core.OpRegWrite, word, val, d.seq[tid])
+	var ret uint64
+	if h := d.rec; h != nil {
+		h.Begin(tid, lin.KindWrite, word, val)
+		ret = d.c.Invoke(tid, core.OpRegWrite, word, val, d.seq[tid])
+		h.End(tid, ret)
+	} else {
+		ret = d.c.Invoke(tid, core.OpRegWrite, word, val, d.seq[tid])
+	}
 	d.localWrites[tid] = append(d.localWrites[tid], [3]uint64{word, val, ret})
 	d.pend[tid].active = false
 }
@@ -102,6 +132,9 @@ func (d *registerDriver) Recover() (int, error) {
 		ret := d.c.Recover(tid, p.op, p.a0, p.a1, p.seq)
 		d.resolved[tid] = true
 		d.recovered++
+		if h := d.rec; h != nil {
+			h.Resolve(tid, ret)
+		}
 		if ret != d.vals[p.a0] {
 			return d.recovered, fmt.Errorf(
 				"word %d: recovered write returned previous %#x, want %#x (re-executed or lost?)",
@@ -120,4 +153,30 @@ func (d *registerDriver) Check() error {
 		}
 	}
 	return nil
+}
+
+// CheckHistory implements HistoryDriver: writes partition perfectly by word
+// (Op.Arg), each class closing with one audit read of the word's durable
+// value over the single-word register model.
+func (d *registerDriver) CheckHistory() (bool, error) {
+	if d.rec == nil {
+		return false, nil
+	}
+	return registerCheckHistory(&d.durlin, d.c, d.initWords)
+}
+
+// registerCheckHistory is shared by the scalar and batched register targets.
+func registerCheckHistory(dl *durlin, c core.Protocol, initWords []uint64) (bool, error) {
+	st := c.CurrentState()
+	touched := map[uint64]bool{}
+	for _, op := range dl.rec.Ops() {
+		touched[op.Arg] = true
+	}
+	var audits []lin.Op
+	for w := range touched {
+		audits = append(audits, lin.Op{Kind: lin.KindRead, Arg: w, Out: st.Load(int(w))})
+	}
+	return dl.checkPartitioned(func(class uint64) lin.Model {
+		return lin.RegisterModel{Initial: initWords[class]}
+	}, func(op lin.Op) uint64 { return op.Arg }, audits)
 }

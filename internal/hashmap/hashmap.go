@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"pcomb/internal/core"
+	"pcomb/internal/history"
 	"pcomb/internal/pmem"
 	"pcomb/internal/vecbatch"
 )
@@ -155,6 +156,8 @@ type Map struct {
 	pipe  *vecbatch.Pipe
 	taken [][]bool
 	tmp   [][]uint64
+
+	hist *history.Recorder // optional durable-linearizability recorder
 }
 
 // sysVecMark in the sys op word marks an in-flight vectorized sub-batch:
@@ -254,9 +257,30 @@ func (m *Map) shardOf(key uint64) int {
 	return int(mix(key) >> 33 % uint64(m.nsh))
 }
 
+// ShardOf returns the shard index serving key (test harnesses use it to
+// build shard-homogeneous batches).
+func (m *Map) ShardOf(key uint64) int { return m.shardOf(key) }
+
+// SetHistory installs (or removes, with nil) a durable-linearizability
+// history recorder on the scalar, batched, and recovery paths. Install while
+// quiescent.
+func (m *Map) SetHistory(h *history.Recorder) { m.hist = h }
+
 // invoke records the op in the system area, draws the shard-local sequence
 // number, runs the op, and marks it done.
 func (m *Map) invoke(tid int, op, key, val uint64) uint64 {
+	if h := m.hist; h != nil {
+		// Begin precedes the first persistence event so a crash anywhere in
+		// the op leaves it pending in the history.
+		h.Begin(tid, op, key, val)
+		ret := m.invokeInner(tid, op, key, val)
+		h.End(tid, ret)
+		return ret
+	}
+	return m.invokeInner(tid, op, key, val)
+}
+
+func (m *Map) invokeInner(tid int, op, key, val uint64) uint64 {
 	sh := m.shardOf(key)
 	base := tid * m.stride
 	seq := m.sys.Load(base+sh) + 1
@@ -321,6 +345,9 @@ func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	seq := m.sys.Load(base + m.nsh + sysSeq)
 	result = m.shards[sh].Recover(tid, op, key, val, seq)
 	m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	if h := m.hist; h != nil {
+		h.Resolve(tid, result)
+	}
 	return op, key, result, true
 }
 
@@ -367,6 +394,11 @@ func (m *Map) RecoverBatch(tid int) ([]RecOp, bool) {
 	out := make([]RecOp, cnt)
 	for i := range out {
 		out[i] = RecOp{Op: ops[i].Op, Key: ops[i].A0, Val: ops[i].A1, Result: rets[i]}
+		if h := m.hist; h != nil {
+			// The interrupted group's Begins were recorded in ring order, so
+			// resolving oldest-first matches op i with rets[i].
+			h.Resolve(tid, rets[i])
+		}
 	}
 	return out, true
 }
@@ -430,6 +462,15 @@ func (m *Map) flushBatch(tid int, ops []core.VecOp, rets []uint64) {
 			}
 		}
 		vp := m.shards[sh].(core.VecProtocol)
+		if h := m.hist; h != nil {
+			// One invocation per op, in ring order, before the group's first
+			// persistence event: a crash mid-group leaves exactly this
+			// group's ops pending (later groups were never begun — lost
+			// wholesale per the async contract, so they stay unrecorded).
+			for _, op := range group {
+				h.Begin(tid, op.Op, op.A0, op.A1)
+			}
+		}
 		// Ring first, then the in-progress record: recovery may trust the
 		// ring only because the record is ordered after the ring's pfence.
 		vp.PublishVec(tid, group)
@@ -443,6 +484,11 @@ func (m *Map) flushBatch(tid int, ops []core.VecOp, rets []uint64) {
 		m.sys.DirectStore(base+m.nsh+sysDone, 0)
 		m.scatter(tid, vp, len(group), seq, idxs, rets)
 		m.sys.DirectStore(base+m.nsh+sysDone, 1)
+		if h := m.hist; h != nil {
+			for i := range group {
+				h.End(tid, m.tmp[tid][i])
+			}
+		}
 	}
 	for i := range ops {
 		taken[i] = false

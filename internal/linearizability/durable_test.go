@@ -1,0 +1,241 @@
+package linearizability
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDurablePendingMayVanish(t *testing.T) {
+	// An enqueue interrupted by the crash never surfaces: the audit drain
+	// sees an empty queue. Legal — the pending op vanishes.
+	hist := []Op{
+		{Thread: 0, Call: 1, Kind: KindEnq, Arg: 7, Status: StatusPending},
+	}
+	hist = AppendAudits(hist, Op{Thread: 1, Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("pending enqueue should be allowed to vanish: %+v", res)
+	}
+}
+
+func TestDurablePendingMayLinearize(t *testing.T) {
+	// The same pending enqueue may instead take effect: the drain finds it.
+	hist := []Op{
+		{Thread: 0, Call: 1, Kind: KindEnq, Arg: 7, Status: StatusPending},
+	}
+	hist = AppendAudits(hist,
+		Op{Thread: 1, Kind: KindDeq, Out: 7},
+		Op{Thread: 1, Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("pending enqueue should be allowed to linearize: %+v", res)
+	}
+}
+
+func TestDurableCompletedMustSurvive(t *testing.T) {
+	// An enqueue whose response was observed before the crash must be in the
+	// recovered state; a drain that misses it is a durability violation.
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindEnq, Arg: 7, Status: StatusCompleted},
+	}
+	hist = AppendAudits(hist, Op{Thread: 1, Kind: KindDeq, Out: EmptyOut})
+	res := CheckDurable(QueueModel{}, hist, Opts{})
+	if res.Outcome != Violation {
+		t.Fatalf("lost completed enqueue must be a violation: %+v", res)
+	}
+	if res.Diag == "" {
+		t.Fatal("violation must carry a diagnostic")
+	}
+}
+
+func TestDurableRecoveredExactlyOnce(t *testing.T) {
+	// A recovered enqueue surfaces exactly once: twice is a violation.
+	once := []Op{
+		{Thread: 0, Call: 1, Kind: KindEnq, Arg: 7, Status: StatusRecovered},
+	}
+	ok := AppendAudits(append([]Op(nil), once...),
+		Op{Kind: KindDeq, Out: 7}, Op{Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, ok, Opts{}); res.Outcome != Ok {
+		t.Fatalf("recovered enqueue surfacing once must pass: %+v", res)
+	}
+	twice := AppendAudits(append([]Op(nil), once...),
+		Op{Kind: KindDeq, Out: 7}, Op{Kind: KindDeq, Out: 7}, Op{Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, twice, Opts{}); res.Outcome != Violation {
+		t.Fatalf("recovered enqueue surfacing twice must fail: %+v", res)
+	}
+	// Unlike pending ops, a recovered op may not vanish.
+	gone := AppendAudits(append([]Op(nil), once...), Op{Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, gone, Opts{}); res.Outcome != Violation {
+		t.Fatalf("recovered enqueue vanishing must fail: %+v", res)
+	}
+}
+
+func TestDurableRealtimeOrderAcrossCut(t *testing.T) {
+	// Deq returned 2 before enq(1) even began — FIFO violation regardless of
+	// any cut placement.
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindEnq, Arg: 2, Status: StatusCompleted},
+		{Thread: 1, Call: 3, Return: 4, Kind: KindDeq, Out: 2, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindEnq, Arg: 1, Status: StatusCompleted},
+	}
+	hist = AppendAudits(hist, Op{Kind: KindDeq, Out: 1}, Op{Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("legal FIFO history rejected: %+v", res)
+	}
+	bad := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindEnq, Arg: 2, Status: StatusCompleted},
+		{Thread: 1, Call: 3, Return: 4, Kind: KindDeq, Out: 1, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindEnq, Arg: 1, Status: StatusCompleted},
+	}
+	if res := CheckDurable(QueueModel{}, bad, Opts{}); res.Outcome != Violation {
+		t.Fatalf("deq observed a value enqueued strictly later: %+v", res)
+	}
+}
+
+func TestDurableInitialState(t *testing.T) {
+	hist := AppendAudits(nil,
+		Op{Kind: KindDeq, Out: 10}, Op{Kind: KindDeq, Out: 11}, Op{Kind: KindDeq, Out: EmptyOut})
+	if res := CheckDurable(QueueModel{Initial: []uint64{10, 11}}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("initial contents must seed the model: %+v", res)
+	}
+	if res := CheckDurable(QueueModel{Initial: []uint64{11, 10}}, hist, Opts{}); res.Outcome != Violation {
+		t.Fatalf("audit order must match initial order: %+v", res)
+	}
+}
+
+func TestDurableHeapModel(t *testing.T) {
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindInsert, Arg: 30, Out: 0, Status: StatusCompleted},
+		{Thread: 1, Call: 3, Return: 4, Kind: KindInsert, Arg: 10, Out: 0, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindDelMin, Out: 10, Status: StatusCompleted},
+		{Thread: 1, Call: 7, Return: 8, Kind: KindGetMin, Out: 30, Status: StatusCompleted},
+	}
+	hist = AppendAudits(hist, Op{Kind: KindDelMin, Out: 30}, Op{Kind: KindDelMin, Out: EmptyOut})
+	if res := CheckDurable(HeapModel{}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("legal heap history rejected: %+v", res)
+	}
+	// DelMin returning a non-minimum is a violation.
+	bad := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindInsert, Arg: 30, Out: 0, Status: StatusCompleted},
+		{Thread: 1, Call: 3, Return: 4, Kind: KindInsert, Arg: 10, Out: 0, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindDelMin, Out: 30, Status: StatusCompleted},
+	}
+	if res := CheckDurable(HeapModel{}, bad, Opts{}); res.Outcome != Violation {
+		t.Fatalf("delete-min must return the minimum: %+v", res)
+	}
+}
+
+func TestDurableHeapBound(t *testing.T) {
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindInsert, Arg: 5, Out: 0, Status: StatusCompleted},
+		{Thread: 0, Call: 3, Return: 4, Kind: KindInsert, Arg: 6, Out: FullOut, Status: StatusCompleted},
+	}
+	if res := CheckDurable(HeapModel{Bound: 1}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("full insert at bound must be legal: %+v", res)
+	}
+	if res := CheckDurable(HeapModel{Bound: 2}, hist, Opts{}); res.Outcome != Violation {
+		t.Fatalf("full insert below bound must be a violation: %+v", res)
+	}
+}
+
+func TestDurableRegisterModel(t *testing.T) {
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindWrite, Arg: 3, Arg2: 100, Out: 0, Status: StatusCompleted},
+		{Thread: 0, Call: 3, Kind: KindWrite, Arg: 3, Arg2: 200, Status: StatusPending},
+	}
+	stale := AppendAudits(append([]Op(nil), hist...), Op{Kind: KindRead, Arg: 3, Out: 100})
+	if res := CheckDurable(RegisterModel{}, stale, Opts{}); res.Outcome != Ok {
+		t.Fatalf("pending write may vanish: %+v", res)
+	}
+	fresh := AppendAudits(append([]Op(nil), hist...), Op{Kind: KindRead, Arg: 3, Out: 200})
+	if res := CheckDurable(RegisterModel{}, fresh, Opts{}); res.Outcome != Ok {
+		t.Fatalf("pending write may linearize: %+v", res)
+	}
+	other := AppendAudits(append([]Op(nil), hist...), Op{Kind: KindRead, Arg: 3, Out: 42})
+	if res := CheckDurable(RegisterModel{}, other, Opts{}); res.Outcome != Violation {
+		t.Fatalf("recovered word value from nowhere must fail: %+v", res)
+	}
+}
+
+func TestDurableMapKeyModel(t *testing.T) {
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindPut, Arg: 9, Arg2: 1, Out: EmptyOut, Status: StatusCompleted},
+		{Thread: 0, Call: 3, Return: 4, Kind: KindPut, Arg: 9, Arg2: 2, Out: 1, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindDel, Arg: 9, Out: 2, Status: StatusCompleted},
+	}
+	gone := AppendAudits(append([]Op(nil), hist...), Op{Kind: KindGet, Arg: 9, Out: EmptyOut})
+	if res := CheckDurable(NewMapKeyModel(), gone, Opts{}); res.Outcome != Ok {
+		t.Fatalf("put-put-del must leave the key absent: %+v", res)
+	}
+	there := AppendAudits(append([]Op(nil), hist...), Op{Kind: KindGet, Arg: 9, Out: 2})
+	if res := CheckDurable(NewMapKeyModel(), there, Opts{}); res.Outcome != Violation {
+		t.Fatalf("deleted key resurfacing must fail: %+v", res)
+	}
+}
+
+func TestDurablePartitioned(t *testing.T) {
+	// Two independent register words; each word's sub-history is sequential.
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindWrite, Arg: 0, Arg2: 10, Out: 0, Status: StatusCompleted},
+		{Thread: 1, Call: 3, Return: 4, Kind: KindWrite, Arg: 1, Arg2: 20, Out: 0, Status: StatusCompleted},
+		{Thread: 0, Call: 5, Return: 6, Kind: KindWrite, Arg: 0, Arg2: 11, Out: 10, Status: StatusCompleted},
+	}
+	hist = AppendAudits(hist,
+		Op{Kind: KindRead, Arg: 0, Out: 11}, Op{Kind: KindRead, Arg: 1, Out: 20})
+	res := CheckDurablePartitioned(
+		func(uint64) Model { return RegisterModel{} },
+		func(op Op) uint64 { return op.Arg },
+		hist, Opts{})
+	if res.Outcome != Ok || res.Partitions != 2 {
+		t.Fatalf("partitioned check failed: %+v", res)
+	}
+	// Break word 1 and check the class shows up in the diagnostic.
+	hist[4].Out = 99
+	res = CheckDurablePartitioned(
+		func(uint64) Model { return RegisterModel{} },
+		func(op Op) uint64 { return op.Arg },
+		hist, Opts{})
+	if res.Outcome != Violation || !strings.Contains(res.Diag, "class 0x1") {
+		t.Fatalf("violation must name the class: %+v", res)
+	}
+}
+
+func TestDurableBudgetExhaustion(t *testing.T) {
+	// A wide all-concurrent history with a one-step budget cannot settle.
+	var hist []Op
+	for i := 0; i < 8; i++ {
+		hist = append(hist, Op{Thread: i, Call: 1, Return: 100, Kind: KindEnq, Arg: uint64(i), Status: StatusCompleted})
+	}
+	res := CheckDurable(QueueModel{}, hist, Opts{Budget: 1})
+	if res.Outcome != Exhausted {
+		t.Fatalf("one-step budget must exhaust: %+v", res)
+	}
+	if err := res.Err(); err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("exhausted Err must say so: %v", err)
+	}
+	if res := CheckDurable(QueueModel{}, hist, Opts{}); res.Outcome != Ok {
+		t.Fatalf("default budget must settle 8 concurrent enqueues: %+v", res)
+	}
+}
+
+func TestDurableResultErr(t *testing.T) {
+	if err := (Result{Outcome: Ok}).Err(); err != nil {
+		t.Fatalf("Ok must flatten to nil: %v", err)
+	}
+	if err := (Result{Outcome: Violation, Diag: "x"}).Err(); err == nil {
+		t.Fatal("Violation must flatten to an error")
+	}
+}
+
+func TestCheckCompatWrapper(t *testing.T) {
+	// The legacy bool API still works for plain completed histories.
+	hist := []Op{
+		{Thread: 0, Call: 1, Return: 2, Kind: KindEnq, Arg: 5},
+		{Thread: 0, Call: 3, Return: 4, Kind: KindDeq, Out: 5},
+	}
+	if !Check(QueueModel{}, hist) {
+		t.Fatal("legal history rejected by compat wrapper")
+	}
+	hist[1].Out = 6
+	if Check(QueueModel{}, hist) {
+		t.Fatal("illegal history accepted by compat wrapper")
+	}
+}

@@ -7,25 +7,53 @@
 package linearizability
 
 import (
-	"fmt"
 	"sync/atomic"
 )
 
-// Op is one completed operation of a recorded history. Call and Return are
-// logical timestamps drawn from one global monotone counter, so all are
-// distinct and Call < Return.
+// Status classifies an operation's fate across a crash cut.
+type Status uint8
+
+const (
+	// StatusCompleted: the response was observed before the crash; the op
+	// must linearize within [Call, Return].
+	StatusCompleted Status = iota
+	// StatusPending: invoked but interrupted by the crash and never
+	// resolved; the op may linearize anywhere after Call (with any
+	// response) or vanish entirely.
+	StatusPending
+	// StatusRecovered: interrupted, then resolved exactly once by a
+	// recovery function; the op must linearize after Call with Out equal to
+	// the recovered response (its return is unconstrained — effectively the
+	// recovery instant).
+	StatusRecovered
+	// StatusAudit: a post-recovery state observation synthesized by the
+	// checker's caller (drain the queue, read every register word). Audit
+	// ops linearize after all real ops, in slice order, validating that the
+	// final durable state is the model state some legal cut produces.
+	StatusAudit
+)
+
+// Op is one operation of a recorded history. Call and Return are logical
+// timestamps drawn from one global monotone counter, so all are distinct and
+// Call < Return for completed operations. Pending/recovered operations have
+// no meaningful Return; audit operations need no timestamps at all (the
+// checker orders them last).
 type Op struct {
 	Thread int
 	Call   int64
 	Return int64
 	Kind   uint64 // model-defined operation code
 	Arg    uint64
+	Arg2   uint64 // second argument (map value, register value); 0 if unused
 	Out    uint64
+	Status Status
 }
 
 // Model is a sequential specification. States must be encodable to a
 // comparable key (for memoization); Step returns the successor state and
-// whether the op's recorded output is legal from the given state.
+// whether the op's recorded output is legal from the given state. For an op
+// with StatusPending the recorded output is meaningless — Step must accept
+// any output and return the successor the op would produce.
 type Model interface {
 	Init() interface{}
 	Step(state interface{}, op Op) (next interface{}, legal bool)
@@ -33,53 +61,15 @@ type Model interface {
 }
 
 // Check reports whether the history is linearizable with respect to the
-// model. Histories must contain only completed operations (crashes are
-// resolved via recovery before checking) and at most 63 of them.
+// model, using the default work budget. It panics when the budget is
+// exhausted — callers that need a graceful diagnostic (large recorded
+// histories in CI) use CheckDurable and inspect the Result.
 func Check(m Model, history []Op) bool {
-	n := len(history)
-	if n == 0 {
-		return true
+	res := CheckDurable(m, history, Opts{})
+	if res.Outcome == Exhausted {
+		panic("linearizability: work budget exhausted: " + res.Diag)
 	}
-	if n > 63 {
-		panic("linearizability: history too long for exhaustive checking")
-	}
-	full := uint64(1)<<n - 1
-	memo := map[string]bool{}
-	var dfs func(remaining uint64, state interface{}) bool
-	dfs = func(remaining uint64, state interface{}) bool {
-		if remaining == 0 {
-			return true
-		}
-		key := fmt.Sprintf("%x|%s", remaining, m.Key(state))
-		if seen, ok := memo[key]; ok {
-			return seen
-		}
-		// minReturn over remaining ops bounds which op may linearize first:
-		// an op is a candidate iff no other remaining op returned before it
-		// was called.
-		minReturn := int64(1) << 62
-		for i := 0; i < n; i++ {
-			if remaining&(1<<i) != 0 && history[i].Return < minReturn {
-				minReturn = history[i].Return
-			}
-		}
-		ok := false
-		for i := 0; i < n && !ok; i++ {
-			if remaining&(1<<i) == 0 {
-				continue
-			}
-			if history[i].Call > minReturn {
-				continue // some other op completed strictly before this began
-			}
-			next, legal := m.Step(state, history[i])
-			if legal && dfs(remaining&^(1<<i), next) {
-				ok = true
-			}
-		}
-		memo[key] = ok
-		return ok
-	}
-	return dfs(full, m.Init())
+	return res.Outcome == Ok
 }
 
 // Recorder assigns logical timestamps and collects completed operations

@@ -2,25 +2,53 @@ package linearizability
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
-// Operation kinds shared by the bundled models.
+// Operation kinds shared by the bundled models. Kinds are per-model opcode
+// spaces, deliberately aligned with the structures' own opcodes (queue
+// OpEnq/OpDeq, heap OpInsert/OpDeleteMin/OpGetMin, map OpPut/OpGet/OpDel) so
+// recorded histories need no translation.
 const (
-	KindEnq uint64 = 1
-	KindDeq uint64 = 2
-	KindAdd uint64 = 3
+	KindEnq  uint64 = 1
+	KindDeq  uint64 = 2
+	KindAdd  uint64 = 3
+	KindRead uint64 = 4 // audit read for CounterModel/RegisterModel
+
+	KindInsert uint64 = 1 // HeapModel
+	KindDelMin uint64 = 2
+	KindGetMin uint64 = 3
+
+	KindPut uint64 = 1 // MapKeyModel
+	KindGet uint64 = 2
+	KindDel uint64 = 3
+
+	KindWrite uint64 = 1 // RegisterModel
 )
 
-// EmptyOut is the recorded output of a dequeue/pop that found the structure
-// empty.
+// EmptyOut is the recorded output of a dequeue/pop/delete-min that found the
+// structure empty, and of a map get/delete that found the key absent.
 const EmptyOut = ^uint64(0)
 
-// QueueModel is the sequential FIFO queue specification.
-type QueueModel struct{}
+// FullOut is the recorded output of an insert/put that found the structure
+// at capacity.
+const FullOut = ^uint64(0) - 1
 
-// Init returns the empty queue.
-func (QueueModel) Init() interface{} { return []uint64(nil) }
+// pending reports whether the op's recorded output is meaningless (the crash
+// interrupted it before a response): Step skips output validation and applies
+// the op's deterministic effect — the alternative fate (it never took effect)
+// is the checker's vanish move, not the model's concern.
+func pending(op Op) bool { return op.Status == StatusPending }
+
+// QueueModel is the sequential FIFO queue specification. Initial seeds the
+// starting contents (head first); the zero value is the empty queue.
+type QueueModel struct {
+	Initial []uint64
+}
+
+// Init returns the initial queue contents.
+func (m QueueModel) Init() interface{} { return append([]uint64(nil), m.Initial...) }
 
 // Step applies one enqueue or dequeue.
 func (QueueModel) Step(state interface{}, op Op) (interface{}, bool) {
@@ -33,9 +61,9 @@ func (QueueModel) Step(state interface{}, op Op) (interface{}, bool) {
 		return next, true
 	case KindDeq:
 		if len(q) == 0 {
-			return q, op.Out == EmptyOut
+			return q, pending(op) || op.Out == EmptyOut
 		}
-		if op.Out != q[0] {
+		if !pending(op) && op.Out != q[0] {
 			return nil, false
 		}
 		return append([]uint64(nil), q[1:]...), true
@@ -47,11 +75,13 @@ func (QueueModel) Step(state interface{}, op Op) (interface{}, bool) {
 func (QueueModel) Key(state interface{}) string { return encode(state.([]uint64)) }
 
 // StackModel is the sequential LIFO stack specification (KindEnq = push,
-// KindDeq = pop).
-type StackModel struct{}
+// KindDeq = pop). Initial seeds the starting contents bottom first.
+type StackModel struct {
+	Initial []uint64
+}
 
-// Init returns the empty stack.
-func (StackModel) Init() interface{} { return []uint64(nil) }
+// Init returns the initial stack contents.
+func (m StackModel) Init() interface{} { return append([]uint64(nil), m.Initial...) }
 
 // Step applies one push or pop.
 func (StackModel) Step(state interface{}, op Op) (interface{}, bool) {
@@ -64,9 +94,9 @@ func (StackModel) Step(state interface{}, op Op) (interface{}, bool) {
 		return next, true
 	case KindDeq:
 		if len(s) == 0 {
-			return s, op.Out == EmptyOut
+			return s, pending(op) || op.Out == EmptyOut
 		}
-		if op.Out != s[len(s)-1] {
+		if !pending(op) && op.Out != s[len(s)-1] {
 			return nil, false
 		}
 		return append([]uint64(nil), s[:len(s)-1]...), true
@@ -77,24 +107,158 @@ func (StackModel) Step(state interface{}, op Op) (interface{}, bool) {
 // Key encodes the stack contents.
 func (StackModel) Key(state interface{}) string { return encode(state.([]uint64)) }
 
-// CounterModel is a fetch&add counter: KindAdd returns the previous value
-// and adds Arg.
-type CounterModel struct{}
+// CounterModel is a fetch&add counter: KindAdd returns the previous value and
+// adds Arg; KindRead (audit) returns the current value.
+type CounterModel struct {
+	Initial uint64
+}
 
-// Init returns zero.
-func (CounterModel) Init() interface{} { return uint64(0) }
+// Init returns the initial counter value.
+func (m CounterModel) Init() interface{} { return m.Initial }
 
-// Step applies one fetch&add.
+// Step applies one fetch&add or read.
 func (CounterModel) Step(state interface{}, op Op) (interface{}, bool) {
 	v := state.(uint64)
-	if op.Kind != KindAdd || op.Out != v {
-		return nil, false
+	switch op.Kind {
+	case KindAdd:
+		if !pending(op) && op.Out != v {
+			return nil, false
+		}
+		return v + op.Arg, true
+	case KindRead:
+		return v, pending(op) || op.Out == v
 	}
-	return v + op.Arg, true
+	return nil, false
 }
 
 // Key encodes the counter value.
 func (CounterModel) Key(state interface{}) string { return fmt.Sprintf("%d", state.(uint64)) }
+
+// HeapModel is the sequential bounded min-heap specification. State is the
+// sorted multiset of keys. KindInsert returns 0 on success and FullOut when
+// the heap holds Bound keys (Bound <= 0 means unbounded); KindDelMin and
+// KindGetMin return the minimum or EmptyOut.
+type HeapModel struct {
+	Initial []uint64 // starting keys, any order
+	Bound   int
+}
+
+// Init returns the initial multiset, sorted.
+func (m HeapModel) Init() interface{} {
+	s := append([]uint64(nil), m.Initial...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+// Step applies one insert, delete-min, or get-min.
+func (m HeapModel) Step(state interface{}, op Op) (interface{}, bool) {
+	h := state.([]uint64)
+	switch op.Kind {
+	case KindInsert:
+		if m.Bound > 0 && len(h) >= m.Bound {
+			return h, pending(op) || op.Out == FullOut
+		}
+		if !pending(op) && op.Out != 0 {
+			return nil, false
+		}
+		i := sort.Search(len(h), func(i int) bool { return h[i] >= op.Arg })
+		next := make([]uint64, len(h)+1)
+		copy(next, h[:i])
+		next[i] = op.Arg
+		copy(next[i+1:], h[i:])
+		return next, true
+	case KindDelMin:
+		if len(h) == 0 {
+			return h, pending(op) || op.Out == EmptyOut
+		}
+		if !pending(op) && op.Out != h[0] {
+			return nil, false
+		}
+		return append([]uint64(nil), h[1:]...), true
+	case KindGetMin:
+		if len(h) == 0 {
+			return h, pending(op) || op.Out == EmptyOut
+		}
+		return h, pending(op) || op.Out == h[0]
+	}
+	return nil, false
+}
+
+// Key encodes the sorted multiset.
+func (HeapModel) Key(state interface{}) string { return encode(state.([]uint64)) }
+
+// RegisterModel is one word of a register file: KindWrite (Arg2 = new value)
+// returns the previous value; KindRead (audit) returns the current value.
+// Partition a multi-word history by Op.Arg (the word index) and give each
+// word its own RegisterModel.
+type RegisterModel struct {
+	Initial uint64
+}
+
+// Init returns the initial word value.
+func (m RegisterModel) Init() interface{} { return m.Initial }
+
+// Step applies one write or read.
+func (RegisterModel) Step(state interface{}, op Op) (interface{}, bool) {
+	v := state.(uint64)
+	switch op.Kind {
+	case KindWrite:
+		if !pending(op) && op.Out != v {
+			return nil, false
+		}
+		return op.Arg2, true
+	case KindRead:
+		return v, pending(op) || op.Out == v
+	}
+	return nil, false
+}
+
+// Key encodes the word value.
+func (RegisterModel) Key(state interface{}) string { return fmt.Sprintf("%d", state.(uint64)) }
+
+// MapKeyModel is one key of a hash map: state is the key's value, EmptyOut
+// when absent. KindPut (Arg2 = new value) returns the previous value
+// (EmptyOut on fresh insert, FullOut when the shard was full — accepted with
+// no effect, fullness is a cross-key property this per-key model cannot
+// judge); KindGet and KindDel return the current value or EmptyOut. Partition
+// a full-map history by Op.Arg (the key).
+type MapKeyModel struct {
+	Initial uint64 // starting value; EmptyOut = absent
+}
+
+// NewMapKeyModel returns a model for an initially-absent key.
+func NewMapKeyModel() MapKeyModel { return MapKeyModel{Initial: EmptyOut} }
+
+// Init returns the initial value.
+func (m MapKeyModel) Init() interface{} { return m.Initial }
+
+// Step applies one put, get, or delete on the key.
+func (MapKeyModel) Step(state interface{}, op Op) (interface{}, bool) {
+	v := state.(uint64)
+	switch op.Kind {
+	case KindPut:
+		if !pending(op) {
+			if op.Out == FullOut {
+				return v, true // shard-full failure: no effect
+			}
+			if op.Out != v {
+				return nil, false
+			}
+		}
+		return op.Arg2, true
+	case KindGet:
+		return v, pending(op) || op.Out == v
+	case KindDel:
+		if !pending(op) && op.Out != v {
+			return nil, false
+		}
+		return EmptyOut, true
+	}
+	return nil, false
+}
+
+// Key encodes the value.
+func (MapKeyModel) Key(state interface{}) string { return fmt.Sprintf("%d", state.(uint64)) }
 
 func encode(vs []uint64) string {
 	var b strings.Builder

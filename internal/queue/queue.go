@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"pcomb/internal/core"
+	"pcomb/internal/history"
 	"pcomb/internal/pmem"
 	"pcomb/internal/pool"
 )
@@ -84,6 +85,8 @@ type Queue struct {
 	deq core.Protocol
 
 	oldTail atomic.Uint64 // PBqueue: last node safe for dequeuers (volatile)
+
+	hist *history.Recorder // optional durable-linearizability recorder
 }
 
 const queueMagic = 0x71c0_0001_beef_0001
@@ -172,12 +175,25 @@ func (q *Queue) tailForDequeuers() uint64 {
 
 // Enqueue appends v. seq counts this thread's enqueues (starting at 1).
 func (q *Queue) Enqueue(tid int, v, seq uint64) {
+	if h := q.hist; h != nil {
+		h.Begin(tid, OpEnq, v, 0)
+		q.enq.Invoke(tid, OpEnq, v, 0, seq)
+		h.End(tid, EnqOK)
+		return
+	}
 	q.enq.Invoke(tid, OpEnq, v, 0, seq)
 }
 
 // Dequeue removes the oldest value. seq counts this thread's dequeues.
 func (q *Queue) Dequeue(tid int, seq uint64) (uint64, bool) {
-	r := q.deq.Invoke(tid, OpDeq, 0, 0, seq)
+	var r uint64
+	if h := q.hist; h != nil {
+		h.Begin(tid, OpDeq, 0, 0)
+		r = q.deq.Invoke(tid, OpDeq, 0, 0, seq)
+		h.End(tid, r)
+	} else {
+		r = q.deq.Invoke(tid, OpDeq, 0, 0, seq)
+	}
 	if r == Empty {
 		return 0, false
 	}
@@ -187,18 +203,31 @@ func (q *Queue) Dequeue(tid int, seq uint64) (uint64, bool) {
 // RecoverEnqueue re-runs (or fetches the response of) an interrupted
 // enqueue.
 func (q *Queue) RecoverEnqueue(tid int, v, seq uint64) uint64 {
-	return q.enq.Recover(tid, OpEnq, v, 0, seq)
+	r := q.enq.Recover(tid, OpEnq, v, 0, seq)
+	if h := q.hist; h != nil {
+		h.Resolve(tid, r)
+	}
+	return r
 }
 
 // RecoverDequeue re-runs (or fetches the response of) an interrupted
 // dequeue.
 func (q *Queue) RecoverDequeue(tid int, seq uint64) (uint64, bool) {
 	r := q.deq.Recover(tid, OpDeq, 0, 0, seq)
+	if h := q.hist; h != nil {
+		h.Resolve(tid, r)
+	}
 	if r == Empty {
 		return 0, false
 	}
 	return r, true
 }
+
+// SetHistory installs (or removes, with nil) a durable-linearizability
+// history recorder. Enqueue/Dequeue then record invocation/response events
+// and RecoverEnqueue/RecoverDequeue resolve the interrupted operation with
+// the recovered response. Install while quiescent.
+func (q *Queue) SetHistory(h *history.Recorder) { q.hist = h }
 
 // SetCombTracker installs combining-level instrumentation on both the
 // enqueue and dequeue combining instances (they share one sink, so reported

@@ -16,6 +16,7 @@ package stack
 
 import (
 	"pcomb/internal/core"
+	"pcomb/internal/history"
 	"pcomb/internal/pmem"
 	"pcomb/internal/pool"
 )
@@ -253,6 +254,7 @@ func (o *obj) eliminateOrdered(sc *roundScratch, reqs []core.Request) []bool {
 type Stack struct {
 	comb core.Protocol
 	o    *obj
+	hist *history.Recorder // optional durable-linearizability recorder
 }
 
 // New creates (or re-opens after a crash) a recoverable stack for n threads.
@@ -307,12 +309,25 @@ func (o *obj) commit(tid int, success bool) {
 
 // Push pushes v; seq follows the per-thread system-model contract.
 func (s *Stack) Push(tid int, v, seq uint64) {
+	if h := s.hist; h != nil {
+		h.Begin(tid, OpPush, v, 0)
+		s.comb.Invoke(tid, OpPush, v, 0, seq)
+		h.End(tid, PushOK)
+		return
+	}
 	s.comb.Invoke(tid, OpPush, v, 0, seq)
 }
 
 // Pop pops the top value; ok is false if the stack was empty.
 func (s *Stack) Pop(tid int, seq uint64) (v uint64, ok bool) {
-	r := s.comb.Invoke(tid, OpPop, 0, 0, seq)
+	var r uint64
+	if h := s.hist; h != nil {
+		h.Begin(tid, OpPop, 0, 0)
+		r = s.comb.Invoke(tid, OpPop, 0, 0, seq)
+		h.End(tid, r)
+	} else {
+		r = s.comb.Invoke(tid, OpPop, 0, 0, seq)
+	}
 	if r == Empty {
 		return 0, false
 	}
@@ -322,8 +337,16 @@ func (s *Stack) Pop(tid int, seq uint64) (v uint64, ok bool) {
 // Recover re-runs (or fetches the response of) thread tid's interrupted
 // operation after a crash.
 func (s *Stack) Recover(tid int, op, a0, seq uint64) uint64 {
-	return s.comb.Recover(tid, op, a0, 0, seq)
+	r := s.comb.Recover(tid, op, a0, 0, seq)
+	if h := s.hist; h != nil {
+		h.Resolve(tid, r)
+	}
+	return r
 }
+
+// SetHistory installs (or removes, with nil) a durable-linearizability
+// history recorder on the push/pop/recover paths. Install while quiescent.
+func (s *Stack) SetHistory(h *history.Recorder) { s.hist = h }
 
 // SetCombTracker installs combining-level instrumentation on the stack's
 // combining instance.

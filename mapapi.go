@@ -111,3 +111,6 @@ func (m *Map) Len() int { return m.m.Len() }
 
 // Range iterates all pairs (quiescent use only).
 func (m *Map) Range(f func(key, val uint64) bool) { m.m.Range(f) }
+
+// SetHistory installs (or, with nil, removes) an operation recorder.
+func (m *Map) SetHistory(h *History) { m.m.SetHistory(h) }

@@ -3,6 +3,7 @@ package pcomb
 import (
 	"pcomb/internal/core"
 	"pcomb/internal/heap"
+	"pcomb/internal/history"
 	"pcomb/internal/queue"
 	"pcomb/internal/stack"
 	"pcomb/internal/vecbatch"
@@ -351,3 +352,23 @@ func (r *Recoverable) Recover(tid int) (op uint64, result uint64, pending bool) 
 
 // State views the current object state (quiescent use only).
 func (r *Recoverable) State() State { return r.c.CurrentState() }
+
+// History is a per-thread operation recorder for durable-linearizability
+// checking: install one with a structure's SetHistory, run a workload,
+// and validate the recorded history (completed, pending, and recovered
+// operations) against the structure's sequential model with
+// internal/linearizability's crash-cut checker. Recording is opt-in; a nil
+// recorder costs one branch per operation.
+type History = history.Recorder
+
+// NewHistory creates a recorder for threads workers.
+func NewHistory(threads int) *History { return history.New(threads) }
+
+// SetHistory installs (or, with nil, removes) an operation recorder.
+func (q *Queue) SetHistory(h *History) { q.q.SetHistory(h) }
+
+// SetHistory installs (or, with nil, removes) an operation recorder.
+func (st *Stack) SetHistory(h *History) { st.s.SetHistory(h) }
+
+// SetHistory installs (or, with nil, removes) an operation recorder.
+func (h *Heap) SetHistory(r *History) { h.h.SetHistory(r) }
