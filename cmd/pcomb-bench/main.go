@@ -7,6 +7,8 @@
 //	pcomb-bench -figure 1a                 # one figure
 //	pcomb-bench -figure all -ops 1000000   # the whole evaluation
 //	pcomb-bench -figure t1 -threads 128    # Table 1
+//	pcomb-bench -figure tail -threads 8    # open-loop tail latency
+//	pcomb-bench -figure ba -serve :8090    # live telemetry while it runs
 //
 // Flags control the workload size, the thread-count sweep, and the
 // simulated persistence costs. Absolute Mops/s depend on the host; the
@@ -17,7 +19,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -serve exposes /debug/pprof
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,7 +35,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba all")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba all, or tail (open-loop)")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
@@ -42,12 +48,20 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "collect per-op latency histograms and combining stats")
 		jsonOut  = flag.String("json", "", "append one JSONL record per measured point to this file ('-' for stdout)")
 		expvarAt = flag.String("expvar", "", "serve /debug/vars on this address (e.g. :8090) with the run's records")
+		serveAt  = flag.String("serve", "", "serve live telemetry on this address: Prometheus text on /metrics, plus /debug/vars and /debug/pprof (implies -metrics and span tracing)")
+		rates    = flag.String("rates", "0.1,0.2,0.4,0.8,1.6,3.2", "comma-separated offered loads (Mops/s) for -figure tail")
+		tailVcap = flag.Int("tail-vcap", 8, "async submit batch capacity for -figure tail's batch variants (<2 = scalar only)")
+		spanCap  = flag.Int("span-cap", 0, "per-thread span-ring capacity for lifecycle tracing (0 = off, <0 = default)")
+		traceOut = flag.String("trace", "", "write per-op lifecycle spans as a Chrome/Perfetto trace to this file (enables span tracing)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 
 	cfg := harness.Config{
 		Ops:     *ops,
 		Metrics: *metrics,
+		SpanCap: *spanCap,
 		Persist: pmem.Config{
 			Mode:     pmem.ModeCount,
 			PwbNs:    *pwbNs,
@@ -73,6 +87,38 @@ func main() {
 		}
 		batchSizes = append(batchSizes, b)
 	}
+	var rateList []float64
+	for _, part := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "bad offered load %q\n", part)
+			os.Exit(2)
+		}
+		rateList = append(rateList, r)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Span tracing turns on when any consumer needs it: an explicit -span-cap,
+	// a -trace export, or the live telemetry endpoint.
+	if (*traceOut != "" || *serveAt != "") && cfg.SpanCap == 0 {
+		cfg.SpanCap = -1 // obs.DefaultSpanCap
+	}
+	if *serveAt != "" {
+		cfg.Metrics = true
+	}
 
 	// Streaming export: every measured point becomes one JSONL record the
 	// moment it completes, and the accumulated records back the expvar
@@ -94,12 +140,20 @@ func main() {
 		defer f.Close()
 		jsonW = f
 	}
-	if jsonW != nil || *expvarAt != "" {
+	var tel *obs.Telemetry
+	if *serveAt != "" {
+		tel = obs.NewTelemetry()
+		cfg.OnStart = tel.StartPoint
+	}
+	if jsonW != nil || *expvarAt != "" || tel != nil {
 		cfg.OnPoint = func(r harness.Result) {
 			rec := r.Record(curFig)
 			recMu.Lock()
 			records = append(records, rec)
 			recMu.Unlock()
+			if tel != nil {
+				tel.FinishPoint(rec)
+			}
 			if jsonW != nil {
 				if err := obs.AppendJSONL(jsonW, rec); err != nil {
 					fmt.Fprintf(os.Stderr, "json output: %v\n", err)
@@ -108,18 +162,42 @@ func main() {
 			}
 		}
 	}
-	if *expvarAt != "" {
+	if *expvarAt != "" || tel != nil {
 		obs.Publish("pcomb-bench", func() any {
 			recMu.Lock()
 			defer recMu.Unlock()
 			return append([]obs.RunRecord(nil), records...)
 		})
+	}
+	if tel != nil {
+		obs.Publish("pcomb-telemetry", tel.Expvar)
+		http.Handle("/metrics", tel)
+		ln, err := obs.Serve(*serveAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (plus /debug/vars, /debug/pprof)\n", ln.Addr())
+	} else if *expvarAt != "" {
 		ln, err := obs.Serve(*expvarAt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expvar: %v\n", err)
 			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "expvar: serving http://%s/debug/vars\n", ln.Addr())
+	}
+
+	// Trace export: each instrumented point contributes one named process to
+	// the Chrome trace, so Perfetto shows per-thread tracks of nested phase
+	// spans side by side across points.
+	var traces []obs.NamedSpans
+	if *traceOut != "" {
+		cfg.OnSpans = func(alg string, threads int, log *obs.SpanLog) {
+			traces = append(traces, obs.NamedSpans{
+				Name: fmt.Sprintf("%s/t%d", alg, threads),
+				Log:  log,
+			})
+		}
 	}
 
 	emit := func(title, metric string, series []harness.Series) {
@@ -201,6 +279,20 @@ func main() {
 				}
 			}
 		},
+		"tail": func() {
+			// The open-loop figure needs the latency histograms for the
+			// response/queueing/service split regardless of -metrics.
+			tcfg := cfg
+			tcfg.Metrics = true
+			series := harness.FigTail(tcfg, rateList, *tailVcap)
+			title := "Open-loop tail latency: response time vs offered load"
+			for _, metric := range []string{
+				"resp-p50-ns", "resp-p99-ns", "resp-p999-ns",
+				"qdelay-mean-ns", "service-mean-ns", "mops",
+			} {
+				harness.PrintTailSeries(os.Stdout, title, metric, series)
+			}
+		},
 	}
 
 	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba"}
@@ -212,11 +304,40 @@ func main() {
 		for _, f := range order {
 			do(f)
 		}
-		return
-	}
-	if _, ok := runs[*figure]; !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v or all)\n", *figure, order)
+	} else if _, ok := runs[*figure]; ok {
+		do(*figure)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v, tail, or all)\n", *figure, order)
 		os.Exit(2)
 	}
-	do(*figure)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteSpanTrace(f, traces); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %d span logs to %s (open in ui.perfetto.dev)\n", len(traces), *traceOut)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 }

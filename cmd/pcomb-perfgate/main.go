@@ -1,0 +1,137 @@
+// pcomb-perfgate is the CI perf-regression smoke gate: it compares a fresh
+// bench-smoke JSONL export against a committed baseline and fails (exit 1)
+// when a matched point regressed beyond tolerance.
+//
+// Two metrics are gated, with very different noise profiles:
+//
+//   - mops (throughput): shared CI runners are noisy and differ from the
+//     machine that recorded the baseline, so the tolerance is deliberately
+//     loose (default: fail below 25% of baseline). The gate exists to catch
+//     collapse — a lock left held, a spin turned into a sleep, an O(n) walk
+//     on the hot path — not 10% drift.
+//   - pwbs/op (persistence write-backs per operation): nearly deterministic
+//     for a given workload, so the tolerance is tight (default: fail above
+//     1.6x baseline). This is the paper's headline metric; silently issuing
+//     more pwbs per op is a real regression even when throughput looks fine.
+//
+// Records are matched on (figure, algorithm, threads). Baseline points with
+// no counterpart in the current run fail the gate too (a figure that
+// silently stopped producing points is a regression), unless -allow-missing.
+//
+// Usage:
+//
+//	pcomb-perfgate -baseline ci/bench-baseline.jsonl -current bench.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pcomb/internal/obs"
+)
+
+type key struct {
+	figure    string
+	algorithm string
+	threads   int
+}
+
+func load(path string) (map[key]obs.RunRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[key]obs.RunRecord{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec obs.RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		out[key{rec.Figure, rec.Algorithm, rec.Threads}] = rec
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		baseline     = flag.String("baseline", "ci/bench-baseline.jsonl", "committed baseline JSONL")
+		current      = flag.String("current", "", "freshly measured JSONL to gate (required)")
+		minMopsRatio = flag.Float64("min-mops-ratio", 0.25, "fail when current mops < ratio * baseline mops")
+		maxPwbRatio  = flag.Float64("max-pwb-ratio", 1.6, "fail when current pwbs/op > ratio * baseline pwbs/op")
+		allowMissing = flag.Bool("allow-missing", false, "do not fail when a baseline point is absent from the current run")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "perfgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: current: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "perfgate: baseline is empty")
+		os.Exit(2)
+	}
+
+	failures := 0
+	compared := 0
+	fmt.Printf("%-6s %-22s %7s  %9s %9s %6s  %9s %9s %6s\n",
+		"figure", "algorithm", "threads",
+		"mops", "base", "ratio", "pwbs/op", "base", "ratio")
+	for k, b := range base {
+		c, ok := cur[k]
+		if !ok {
+			if *allowMissing {
+				continue
+			}
+			fmt.Printf("%-6s %-22s %7d  MISSING from current run\n", k.figure, k.algorithm, k.threads)
+			failures++
+			continue
+		}
+		compared++
+		mopsRatio := 0.0
+		if b.Mops > 0 {
+			mopsRatio = c.Mops / b.Mops
+		}
+		pwbRatio := 0.0
+		if b.PwbsPerOp > 0 {
+			pwbRatio = c.PwbsPerOp / b.PwbsPerOp
+		}
+		verdict := ""
+		if b.Mops > 0 && mopsRatio < *minMopsRatio {
+			verdict += " THROUGHPUT-REGRESSION"
+		}
+		if b.PwbsPerOp > 0 && pwbRatio > *maxPwbRatio {
+			verdict += " PWB-REGRESSION"
+		}
+		if verdict != "" {
+			failures++
+		}
+		fmt.Printf("%-6s %-22s %7d  %9.3f %9.3f %6.2f  %9.3f %9.3f %6.2f %s\n",
+			k.figure, k.algorithm, k.threads,
+			c.Mops, b.Mops, mopsRatio,
+			c.PwbsPerOp, b.PwbsPerOp, pwbRatio, verdict)
+	}
+	fmt.Printf("\nperfgate: %d points compared against %s, %d failures\n", compared, *baseline, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

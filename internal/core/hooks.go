@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"pcomb/internal/obs"
+)
 
 // recoverSabotage, when set, makes Recover/RecoverVec skip the re-announce
 // and conditional re-perform and hand back whatever the return slot holds —
@@ -45,6 +49,26 @@ type VecTracker interface {
 type CombTrackable interface {
 	SetCombTracker(CombTracker)
 }
+
+// SpanTrackable is satisfied by protocol instances (and data structures
+// forwarding to them) that can record per-operation lifecycle spans into an
+// obs.SpanLog. Unlike CombTracker this is a concrete type, not an interface:
+// the hook sites sit on sub-microsecond paths, and a nil pointer check is
+// the cheapest possible disabled guard.
+type SpanTrackable interface {
+	SetSpanLog(*obs.SpanLog)
+}
+
+// SetSpanLog installs per-op lifecycle span recording on a PBComb instance;
+// nil uninstalls it. While installed, Invoke/PerformVec record publish,
+// backoff, wait-serve, combine, and persist phase spans for every operation;
+// uninstalled, the hook sites reduce to nil checks and no timestamps are
+// read.
+func (c *PBComb) SetSpanLog(l *obs.SpanLog) { c.spans = l }
+
+// SetSpanLog installs per-op lifecycle span recording on a PWFComb instance;
+// nil uninstalls it (see PBComb.SetSpanLog).
+func (c *PWFComb) SetSpanLog(l *obs.SpanLog) { c.spans = l }
 
 // SetCombTracker installs combining-level instrumentation on a PBComb
 // instance; nil uninstalls it. Trackers that also implement VecTracker

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"pcomb/internal/memmodel"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/prim"
 )
@@ -91,6 +92,7 @@ type PBComb struct {
 	track *memmodel.Hooks
 	cstat CombTracker
 	vstat VecTracker
+	spans *obs.SpanLog // per-op lifecycle spans; nil = tracing disabled
 }
 
 // NewPBComb creates (or, after a crash, re-opens) a PBComb instance for n
@@ -233,8 +235,16 @@ const (
 // with every invocation; its low bit drives the activate/deactivate
 // detectability scheme, as in the paper's system model.
 func (c *PBComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
+	var t0, t1 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	c.req[tid].announce(op, a0, a1, seq&1)
 	c.onReqWrite(tid, tid)
+	if c.spans != nil {
+		t1 = obs.Now()
+		c.spans.Record(tid, obs.PhasePublish, t0, t1, 1)
+	}
 	// Wait between announcing and competing for the lock: this is what lets
 	// announcements accumulate into large combining batches (cf. the paper's
 	// backoff discussion). The wait is adaptive: it grows only while other
@@ -245,6 +255,9 @@ func (c *PBComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
 		c.announceWait(tid, seq&1)
 	} else {
 		prim.Pause()
+	}
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhaseBackoff, t1, obs.Now(), 0)
 	}
 	return c.perform(tid)
 }
@@ -322,6 +335,12 @@ func (c *PBComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 // perform is the paper's PerformReqest: acquire the lock and combine, or
 // wait until a combiner has served our request.
 func (c *PBComb) perform(tid int) uint64 {
+	// tw anchors the wait-serve span: everything between entering perform and
+	// returning a combiner-served response is time spent waiting on others.
+	var tw int64
+	if c.spans != nil {
+		tw = obs.Now()
+	}
 	myActivate := ctlActivate(c.req[tid].ctl.Load())
 	for {
 		// Leave without ever acquiring the lock if a combiner has already
@@ -346,6 +365,9 @@ func (c *PBComb) perform(tid int) uint64 {
 			// Being served by another thread's combining round is itself the
 			// contention signal the announce backoff keys on.
 			c.noteContention(tid)
+			if c.spans != nil {
+				c.spans.Record(tid, obs.PhaseWaitServe, tw, obs.Now(), 0)
+			}
 			return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 		}
 		lval := c.lock.Load()
@@ -388,6 +410,9 @@ func (c *PBComb) perform(tid int) uint64 {
 			mi = c.meta.Load(0)
 			c.onHelped(tid)
 			c.noteContention(tid)
+			if c.spans != nil {
+				c.spans.Record(tid, obs.PhaseWaitServe, tw, obs.Now(), 0)
+			}
 			return c.state.Load(c.recOff(mi) + c.retSlot(tid))
 		}
 	}
@@ -397,6 +422,10 @@ func (c *PBComb) perform(tid int) uint64 {
 // active valid request on the copy, persist the copy, flip MIndex, persist
 // it, and release the lock.
 func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
+	var tc int64
+	if c.spans != nil {
+		tc = obs.Now()
+	}
 	ctx := c.ctxs[tid]
 	mi := c.meta.Load(0)
 	ind := 1 - mi
@@ -497,6 +526,16 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 		c.onStateWrite(tid, dst+ret)
 	}
 
+	// Span boundary: combine covers copy+gather+serve, persist covers the
+	// write-backs through the psync (PostSync included — it is durability
+	// work), with the pwb counter delta as attribution.
+	var tp int64
+	var pwb0 uint64
+	if c.spans != nil {
+		tp = obs.Now()
+		c.spans.Record(tid, obs.PhaseCombine, tc, tp, uint64(len(batch)))
+		pwb0 = ctx.Pwbs()
+	}
 	switch {
 	case c.durableOnly:
 		ctx.PWB(c.state, dst, c.stWords)
@@ -514,6 +553,9 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	ctx.PSync()
 	if c.PostSync != nil {
 		c.PostSync(env)
+	}
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhasePersist, tp, obs.Now(), ctx.Pwbs()-pwb0)
 	}
 	c.lock.Add(1)
 	c.onLockWrite(tid)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"pcomb/internal/memmodel"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/prim"
 )
@@ -115,6 +116,7 @@ type PWFComb struct {
 	track *memmodel.Hooks
 	cstat CombTracker
 	vstat VecTracker
+	spans *obs.SpanLog // per-op lifecycle spans; nil = tracing disabled
 }
 
 // NewPWFComb creates (or re-opens after a crash) a PWFComb instance for n
@@ -251,11 +253,22 @@ func (c *PWFComb) CurrentState() State {
 // Invoke announces and executes one operation for thread tid; seq follows
 // the same contract as PBComb.Invoke.
 func (c *PWFComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
+	var t0, t1 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	c.req[tid].announce(op, a0, a1, seq&1)
+	if c.spans != nil {
+		t1 = obs.Now()
+		c.spans.Record(tid, obs.PhasePublish, t0, t1, 1)
+	}
 	if c.adaptive && c.n > 1 {
 		c.announceWaitW(tid, seq&1)
 	} else {
 		c.backoffs[tid].Wait()
+	}
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhaseBackoff, t1, obs.Now(), 0)
 	}
 	return c.perform(tid)
 }
@@ -358,9 +371,20 @@ func (c *PWFComb) ReadState(buf []uint64) {
 // perform is the paper's PerformReqest for PWFcomb.
 func (c *PWFComb) perform(tid int) uint64 {
 	ctx := c.ctxs[tid]
+	// Span anchors: tw is the last phase boundary (perform entry, then the
+	// end of each combining attempt), so the helped tail's wait-serve span
+	// never overlaps an attempt's combine/persist spans; ta is the current
+	// attempt's start.
+	var tw, ta int64
+	if c.spans != nil {
+		tw = obs.Now()
+	}
 	myActivate := ctlActivate(c.req[tid].ctl.Load())
 	served := c.readRecWord(tid, c.deactOff+tid) == myActivate
 	for l := 0; l < 2 && !served; l++ {
+		if c.spans != nil {
+			ta = obs.Now()
+		}
 		sv := c.sv.LL()
 		slot, stamp := prim.UnpackVersioned(sv)
 		c.h.Touch(&c.hotS, tid)
@@ -390,6 +414,10 @@ func (c *PWFComb) perform(tid int) uint64 {
 		if !c.sv.VL(sv) {
 			c.onSCFailW(tid)
 			c.noteContentionW(tid)
+			if c.spans != nil {
+				tw = obs.Now()
+				c.spans.Record(tid, obs.PhaseCombine, ta, tw, 0)
+			}
 			continue
 		}
 
@@ -476,6 +504,16 @@ func (c *PWFComb) perform(tid int) uint64 {
 
 		if c.sv.VL(sv) {
 			c.state.Store(dst+c.idxOff+tid, 1-(ind&1))
+			// Span boundary: combine covered copy+gather+serve; persist covers
+			// the write-backs through the SC and (on a win) the psync of S,
+			// with the pwb counter delta as attribution.
+			var tp int64
+			var pwb0 uint64
+			if c.spans != nil {
+				tp = obs.Now()
+				c.spans.Record(tid, obs.PhaseCombine, ta, tp, uint64(len(batch)))
+				pwb0 = ctx.Pwbs()
+			}
 			if c.sparse {
 				c.bufDirty[my].addLine((c.idxOff + tid) / pmem.LineWords)
 				// Publish this round's dirty lines before the SC so any
@@ -521,12 +559,21 @@ func (c *PWFComb) perform(tid int) uint64 {
 				if c.PostSC != nil {
 					c.PostSC(env, true)
 				}
+				if c.spans != nil {
+					c.spans.Record(tid, obs.PhasePersist, tp, obs.Now(), ctx.Pwbs()-pwb0)
+				}
 				return c.readRecWord(tid, c.retSlot(tid))
 			}
 			c.onSCFailW(tid)
 			c.noteContentionW(tid)
 			if c.PostSC != nil {
 				c.PostSC(env, false)
+			}
+			if c.spans != nil {
+				// Lost round: the record pwbs+pfence still happened, so the
+				// persist span is recorded with its (wasted) pwb attribution.
+				tw = obs.Now()
+				c.spans.Record(tid, obs.PhasePersist, tp, tw, ctx.Pwbs()-pwb0)
 			}
 		} else {
 			// The validation after serving failed: this round is discarded
@@ -536,6 +583,10 @@ func (c *PWFComb) perform(tid int) uint64 {
 			c.noteContentionW(tid)
 			if c.PostSC != nil {
 				c.PostSC(env, false)
+			}
+			if c.spans != nil {
+				tw = obs.Now()
+				c.spans.Record(tid, obs.PhaseCombine, ta, tw, uint64(len(batch)))
 			}
 		}
 		c.backoffs[tid].Wait()
@@ -564,6 +615,9 @@ func (c *PWFComb) perform(tid int) uint64 {
 	// Being served by another thread's combining round is itself the
 	// contention signal the announce backoff keys on.
 	c.noteContentionW(tid)
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhaseWaitServe, tw, obs.Now(), 0)
+	}
 	return c.readRecWord(tid, c.retSlot(tid))
 }
 

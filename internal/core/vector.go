@@ -16,6 +16,7 @@
 package core
 
 import (
+	"pcomb/internal/obs"
 	"pcomb/internal/prim"
 )
 
@@ -53,6 +54,10 @@ func (c *PWFComb) checkVec(cnt int, rets []uint64) {
 // See VecProtocol.PublishVec for the ordering contract.
 func (c *PBComb) PublishVec(tid int, ops []VecOp) {
 	c.checkVec(len(ops), nil)
+	var t0 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	b := c.vecBase(tid)
 	for i, op := range ops {
 		c.vec.Store(b+3*i, op.Op)
@@ -62,11 +67,18 @@ func (c *PBComb) PublishVec(tid int, ops []VecOp) {
 	ctx := c.ctxs[tid]
 	ctx.PWB(c.vec, b, 3*len(ops))
 	ctx.PFence()
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhasePublish, t0, obs.Now(), uint64(len(ops)))
+	}
 }
 
 // PublishVec writes ops into tid's argument ring and makes them durable.
 func (c *PWFComb) PublishVec(tid int, ops []VecOp) {
 	c.checkVec(len(ops), nil)
+	var t0 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	b := c.vecBase(tid)
 	for i, op := range ops {
 		c.vec.Store(b+3*i, op.Op)
@@ -76,6 +88,9 @@ func (c *PWFComb) PublishVec(tid int, ops []VecOp) {
 	ctx := c.ctxs[tid]
 	ctx.PWB(c.vec, b, 3*len(ops))
 	ctx.PFence()
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhasePublish, t0, obs.Now(), uint64(len(ops)))
+	}
 }
 
 // VecArg reads entry i of tid's argument ring.
@@ -99,12 +114,19 @@ func (c *PBComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 	}
 	c.checkVec(cnt, rets)
 	c.onBatchSize(tid, cnt)
+	var t0 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	c.onReqWrite(tid, tid)
 	if c.adaptive && c.n > 1 {
 		c.announceWait(tid, seq&1)
 	} else {
 		prim.Pause()
+	}
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhaseBackoff, t0, obs.Now(), 0)
 	}
 	c.perform(tid)
 	c.collectRets(tid, cnt, rets)
@@ -119,11 +141,18 @@ func (c *PWFComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 	}
 	c.checkVec(cnt, rets)
 	c.onBatchSize(tid, cnt)
+	var t0 int64
+	if c.spans != nil {
+		t0 = obs.Now()
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	if c.adaptive && c.n > 1 {
 		c.announceWaitW(tid, seq&1)
 	} else {
 		c.backoffs[tid].Wait()
+	}
+	if c.spans != nil {
+		c.spans.Record(tid, obs.PhaseBackoff, t0, obs.Now(), 0)
 	}
 	c.perform(tid)
 	c.collectRets(tid, cnt, rets)

@@ -43,25 +43,41 @@ func runSweep(cfg Config, algos []Algo) []Series {
 				m = obs.NewMetrics(n)
 				pcfg.obsM = m
 			}
+			var spans *obs.SpanLog
+			if cfg.SpanCap != 0 {
+				spans = obs.NewSpanLog(n, cfg.SpanCap)
+				pcfg.obsSpans = spans
+			}
 			h, op := a.Build(pcfg, n)
-			res := measure(a.Name, h, n, cfg.Ops, op, m)
+			if cfg.OnStart != nil {
+				cfg.OnStart(a.Name, n, m, spans)
+			}
+			res := measure(a.Name, h, n, cfg.Ops, op, m, spans)
 			out[ai].Points = append(out[ai].Points, res)
 			if cfg.OnPoint != nil {
 				cfg.OnPoint(res)
+			}
+			if cfg.OnSpans != nil && spans != nil {
+				cfg.OnSpans(a.Name, n, spans)
 			}
 		}
 	}
 	return out
 }
 
-// attachObs installs the point's combining-stats sink on v when metrics are
-// enabled and v supports it (baselines without combining silently don't).
+// attachObs installs the point's combining-stats sink and span log on v when
+// the corresponding instrumentation is enabled and v supports it (baselines
+// without combining silently don't).
 func attachObs(cfg Config, v any) {
-	if cfg.obsM == nil {
-		return
+	if cfg.obsM != nil {
+		if ct, ok := v.(core.CombTrackable); ok {
+			ct.SetCombTracker(cfg.obsM.Comb)
+		}
 	}
-	if ct, ok := v.(core.CombTrackable); ok {
-		ct.SetCombTracker(cfg.obsM.Comb)
+	if cfg.obsSpans != nil {
+		if st, ok := v.(core.SpanTrackable); ok {
+			st.SetSpanLog(cfg.obsSpans)
+		}
 	}
 }
 

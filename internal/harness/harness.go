@@ -91,7 +91,7 @@ type Series struct {
 // paper's local-work loop between operations, and reports throughput plus
 // per-operation persistence-instruction counts from the heap.
 func Measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc) Result {
-	return measure(alg, h, n, totalOps, op, nil)
+	return measure(alg, h, n, totalOps, op, nil, nil)
 }
 
 // MeasureMetrics is Measure with per-operation latency recording into m's
@@ -102,10 +102,10 @@ func MeasureMetrics(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc,
 	if m == nil {
 		m = obs.NewMetrics(n)
 	}
-	return measure(alg, h, n, totalOps, op, m)
+	return measure(alg, h, n, totalOps, op, m, nil)
 }
 
-func measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc, m *obs.Metrics) Result {
+func measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc, m *obs.Metrics, spans *obs.SpanLog) Result {
 	per := totalOps / uint64(n)
 	if per == 0 {
 		per = 1
@@ -120,10 +120,18 @@ func measure(alg string, h *pmem.Heap, n int, totalOps uint64, op OpFunc, m *obs
 			rng := rand.New(rand.NewSource(int64(tid)*2654435761 + 1))
 			sink := uint64(0)
 			for i := uint64(0); i < per; i++ {
-				if m != nil {
+				if m != nil || spans != nil {
 					t0 := obs.Now()
 					op(tid, i, rng)
-					m.RecordLatency(tid, uint64(obs.Now()-t0))
+					t1 := obs.Now()
+					if m != nil {
+						m.RecordLatency(tid, uint64(t1-t0))
+					}
+					if spans != nil {
+						// The whole-operation span; the protocol's phase spans
+						// nest inside it on the same track.
+						spans.Record(tid, obs.PhaseOp, t0, t1, 0)
+					}
 				} else {
 					op(tid, i, rng)
 				}
@@ -189,10 +197,27 @@ type Config struct {
 	// refresh an expvar endpoint while a long run progresses.
 	OnPoint func(Result)
 
+	// SpanCap enables per-op lifecycle span tracing: each point gets a fresh
+	// obs.SpanLog with per-thread rings of SpanCap entries, installed on
+	// structures supporting core.SpanTrackable. 0 disables tracing; negative
+	// selects obs.DefaultSpanCap.
+	SpanCap int
+	// OnSpans, when non-nil (and SpanCap != 0), receives each point's span
+	// log after the point completes — trace-export hook.
+	OnSpans func(alg string, threads int, log *obs.SpanLog)
+	// OnStart, when non-nil, is invoked before each point starts measuring,
+	// with the point's live metrics sink and span log (either may be nil
+	// when the corresponding instrumentation is off). The live-telemetry
+	// endpoint uses it to repoint its scrape targets at the running point.
+	OnStart func(alg string, threads int, m *obs.Metrics, spans *obs.SpanLog)
+
 	// obsM carries the current point's metrics sink from runSweep into the
 	// algorithm builders, which attach it to structures supporting
 	// core.CombTrackable.
 	obsM *obs.Metrics
+	// obsSpans likewise carries the current point's span log into the
+	// builders (attachObs installs it via core.SpanTrackable).
+	obsSpans *obs.SpanLog
 }
 
 // DefaultConfig mirrors the paper's x-axis, scaled for a small host.

@@ -19,6 +19,7 @@ import (
 
 	"pcomb/internal/core"
 	"pcomb/internal/history"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/vecbatch"
 )
@@ -247,6 +248,20 @@ func (m *Map) SetCombTracker(t core.CombTracker) {
 		if ct, ok := sh.(core.CombTrackable); ok {
 			ct.SetCombTracker(t)
 		}
+	}
+}
+
+// SetSpanLog installs per-op lifecycle span recording on every shard's
+// combining instance and on the submission pipe (one shared log, so a
+// thread's track interleaves spans from all shards it touched).
+func (m *Map) SetSpanLog(l *obs.SpanLog) {
+	for _, sh := range m.shards {
+		if st, ok := sh.(core.SpanTrackable); ok {
+			st.SetSpanLog(l)
+		}
+	}
+	if m.pipe != nil {
+		m.pipe.SetSpanLog(l)
 	}
 }
 

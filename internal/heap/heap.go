@@ -11,6 +11,7 @@ package heap
 import (
 	"pcomb/internal/core"
 	"pcomb/internal/history"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 )
 
@@ -222,6 +223,14 @@ func (h *Heap) SetHistory(rec *history.Recorder) { h.hist = rec }
 func (h *Heap) SetCombTracker(t core.CombTracker) {
 	if ct, ok := h.comb.(core.CombTrackable); ok {
 		ct.SetCombTracker(t)
+	}
+}
+
+// SetSpanLog installs per-op lifecycle span recording on the heap's
+// combining instance.
+func (h *Heap) SetSpanLog(l *obs.SpanLog) {
+	if st, ok := h.comb.(core.SpanTrackable); ok {
+		st.SetSpanLog(l)
 	}
 }
 

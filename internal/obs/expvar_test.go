@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestPublishReplaces(t *testing.T) {
+	// stdlib expvar panics on duplicate registration; obs.Publish must
+	// instead swap the backing function so long-running tools can repoint a
+	// name between benchmark points.
+	Publish("test-replace", func() any { return "first" })
+	Publish("test-replace", func() any { return "second" }) // must not panic
+	v := expvar.Get("test-replace")
+	if v == nil {
+		t.Fatal("variable not registered")
+	}
+	if got := v.String(); got != `"second"` {
+		t.Fatalf("serves %s, want the replacement value", got)
+	}
+}
+
+func TestServeExposesDebugVars(t *testing.T) {
+	Publish("test-serve", func() any {
+		return map[string]int{"answer": 42}
+	})
+	ln, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("debug/vars is not JSON: %v", err)
+	}
+	raw, ok := doc["test-serve"]
+	if !ok {
+		t.Fatalf("published variable missing from /debug/vars (keys: %d)", len(doc))
+	}
+	var got map[string]int
+	if err := json.Unmarshal(raw, &got); err != nil || got["answer"] != 42 {
+		t.Fatalf("test-serve = %s (err %v)", raw, err)
+	}
+}

@@ -177,10 +177,11 @@ func (h *Hist) Quantile(q float64) float64 {
 	return v
 }
 
-// Bucket is one non-empty histogram bucket for export: Lo is the bucket's
-// inclusive lower value bound.
+// Bucket is one non-empty histogram bucket for export: the bucket covers
+// values in [Lo, Hi).
 type Bucket struct {
 	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi,omitempty"`
 	Count uint64 `json:"count"`
 }
 
@@ -189,8 +190,8 @@ func (h *Hist) Buckets() []Bucket {
 	var out []Bucket
 	for b := 0; b < nBuckets; b++ {
 		if c := atomic.LoadUint64(&h.counts[b]); c != 0 {
-			lo, _ := bucketBounds(b)
-			out = append(out, Bucket{Lo: lo, Count: c})
+			lo, hi := bucketBounds(b)
+			out = append(out, Bucket{Lo: lo, Hi: hi, Count: c})
 		}
 	}
 	return out

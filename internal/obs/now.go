@@ -1,14 +1,16 @@
 package obs
 
-import (
-	_ "unsafe" // for go:linkname
-)
+import "time"
 
-// Now returns the runtime's monotonic clock (ns, arbitrary epoch). It is
-// the timestamp source for per-op latency measurement: it skips the
-// wall-clock half of time.Now, which roughly halves the cost of a reading
-// — the difference between ~6% and ~13% throughput overhead on the
-// all-ops-timed hot path of a sub-microsecond operation.
-//
-//go:linkname Now runtime.nanotime
-func Now() int64
+// epoch anchors every Now reading to process start, so all obs timestamps
+// share one origin and small values — convenient for trace export and safe
+// to subtract across threads.
+var epoch = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It is the
+// timestamp source for per-op latency measurement and span tracing: the
+// reading comes from time.Since, which Go computes from the *monotonic*
+// half of the epoch reading, so Now never goes backwards under wall-clock
+// adjustment (NTP steps, manual resets) and successive readings on one
+// thread are non-decreasing.
+func Now() int64 { return int64(time.Since(epoch)) }

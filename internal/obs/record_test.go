@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestAppendJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	recs := []RunRecord{
+		{Figure: "tail", Algorithm: "PBmap", Threads: 8, Ops: 100, Mops: 2.5,
+			Extra: map[string]float64{"offered-mops": 0.4, "resp-p99-ns": 1200}},
+		{Figure: "tail", Algorithm: "PWFmap", Threads: 8, Ops: 100, Mops: 2.1},
+	}
+	for i := range recs {
+		if err := AppendJSONL(&buf, recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(recs) {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var back RunRecord
+	if err := json.Unmarshal([]byte(lines[0]), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "PBmap" || back.Extra["resp-p99-ns"] != 1200 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// AppendJSONL must emit exactly one line per record (streaming JSONL).
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Fatalf("output is not one-line-per-record:\n%s", buf.String())
+	}
+}
+
+func TestAppendJSONLArbitraryValue(t *testing.T) {
+	// The expvar endpoint streams non-RunRecord values through the same
+	// helper; anything JSON-encodable must work.
+	var buf bytes.Buffer
+	if err := AppendJSONL(&buf, map[string]any{"phase": "persist", "p99": 1500.0}); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil || got["phase"] != "persist" {
+		t.Fatalf("bad line %q (err %v)", buf.String(), err)
+	}
+}

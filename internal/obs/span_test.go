@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestSpanLogRecordAndRead(t *testing.T) {
+	l := NewSpanLog(2, 8)
+	if l.Threads() != 2 || l.Cap() != 8 {
+		t.Fatalf("threads=%d cap=%d", l.Threads(), l.Cap())
+	}
+	l.Record(0, PhasePublish, 100, 140, 1)
+	l.Record(0, PhaseCombine, 140, 300, 5)
+	l.Record(1, PhaseWaitServe, 120, 360, 0)
+	if got := l.Recorded(0); got != 2 {
+		t.Fatalf("Recorded(0) = %d", got)
+	}
+	sp := l.Spans(0)
+	if len(sp) != 2 || sp[0].Phase != PhasePublish || sp[1].Phase != PhaseCombine {
+		t.Fatalf("Spans(0) = %+v", sp)
+	}
+	if sp[1].Start != 140 || sp[1].End != 300 || sp[1].Arg != 5 {
+		t.Fatalf("combine span = %+v", sp[1])
+	}
+	if sp := l.Spans(1); len(sp) != 1 || sp[0].Phase != PhaseWaitServe {
+		t.Fatalf("Spans(1) = %+v", sp)
+	}
+	if h := l.PhaseHist(PhaseCombine); h.Count() != 1 || h.Max() != 160 {
+		t.Fatalf("combine hist count=%d max=%d", h.Count(), h.Max())
+	}
+}
+
+func TestSpanLogRingWrap(t *testing.T) {
+	l := NewSpanLog(1, 4)
+	for i := 0; i < 10; i++ {
+		l.Record(0, PhaseOp, int64(i), int64(i)+1, 0)
+	}
+	if got := l.Recorded(0); got != 10 {
+		t.Fatalf("Recorded = %d", got)
+	}
+	if got := l.Dropped(0); got != 6 {
+		t.Fatalf("Dropped = %d", got)
+	}
+	sp := l.Spans(0)
+	if len(sp) != 4 {
+		t.Fatalf("retained %d spans", len(sp))
+	}
+	// Oldest-first: the ring must retain the LAST 4 recordings in order.
+	for i, s := range sp {
+		if s.Start != int64(6+i) {
+			t.Fatalf("span %d start = %d, want %d", i, s.Start, 6+i)
+		}
+	}
+	// The histogram saw every recording, not just the retained ones.
+	if h := l.PhaseHist(PhaseOp); h.Count() != 10 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+}
+
+func TestSpanLogPhaseSummaries(t *testing.T) {
+	l := NewSpanLog(2, 16)
+	l.Record(0, PhasePersist, 0, 1000, 3)
+	l.Record(1, PhasePersist, 0, 3000, 5)
+	l.Record(0, PhaseBackoff, 0, 50, 0)
+	sums := l.PhaseSummaries()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries: %+v", len(sums), sums)
+	}
+	byName := map[string]PhaseSummary{}
+	for _, s := range sums {
+		byName[s.Phase] = s
+	}
+	p := byName["persist"]
+	if p.Count != 2 || p.MaxNs != 3000 || p.MeanNs != 2000 {
+		t.Fatalf("persist summary = %+v", p)
+	}
+	if byName["backoff"].Count != 1 {
+		t.Fatalf("backoff summary = %+v", byName["backoff"])
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < Phase(NumPhases); p++ {
+		s := p.String()
+		if s == "?" || seen[s] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, s)
+		}
+		seen[s] = true
+	}
+}
+
+// Record is on the hot path of every traced operation: it must never
+// allocate, or tracing would distort exactly the latencies it measures.
+func TestSpanLogRecordZeroAlloc(t *testing.T) {
+	l := NewSpanLog(1, 64)
+	ts := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		ts += 2
+		l.Record(0, PhaseCombine, ts-2, ts, 7)
+	}); n != 0 {
+		t.Fatalf("SpanLog.Record allocates %v per call", n)
+	}
+}
+
+func BenchmarkSpanLogRecord(b *testing.B) {
+	l := NewSpanLog(1, DefaultSpanCap)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record(0, PhasePersist, int64(i), int64(i)+100, 4)
+	}
+}

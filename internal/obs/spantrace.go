@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// NamedSpans is one benchmark point's span log for trace export: shown as
+// one process in the viewer with one track per thread, phase spans nested
+// inside each op span by interval containment.
+type NamedSpans struct {
+	Name string
+	Log  *SpanLog
+}
+
+// WriteSpanTrace converts span logs into Chrome trace-event JSON (loadable
+// in Perfetto and about://tracing). Each SpanLog becomes one process, each
+// thread one track; "X" complete events at real recorded timestamps, so the
+// viewer nests publish/backoff/wait/combine/persist spans inside their
+// enclosing op span and the horizontal axis is real elapsed time.
+func WriteSpanTrace(w io.Writer, logs []NamedSpans) error {
+	var events []chromeEvent
+	for pid, nl := range logs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{"name": nl.Name},
+		})
+		for tid := 0; tid < nl.Log.Threads(); tid++ {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": "thread " + strconv.Itoa(tid)},
+			})
+			for _, s := range nl.Log.Spans(tid) {
+				ce := chromeEvent{
+					Name: s.Phase.String(),
+					Cat:  "op",
+					Ph:   "X",
+					Ts:   float64(s.Start) / 1e3,
+					Dur:  float64(s.End-s.Start) / 1e3,
+					Pid:  pid,
+					Tid:  tid,
+				}
+				if ce.Dur <= 0 {
+					ce.Dur = 0.001 // minimum visible width
+				}
+				if s.Arg != 0 {
+					ce.Args = map[string]any{spanArgName(s.Phase): s.Arg}
+				}
+				events = append(events, ce)
+			}
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
+// spanArgName labels the Arg value of a phase for the trace viewer.
+func spanArgName(p Phase) string {
+	switch p {
+	case PhaseCombine:
+		return "ops"
+	case PhasePersist:
+		return "pwbs"
+	case PhasePublish, PhaseResolve:
+		return "batch"
+	}
+	return "arg"
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteSpanTrace(t *testing.T) {
+	l := NewSpanLog(2, 8)
+	// Thread 0: an op span with a combine and a persist nested inside it.
+	l.Record(0, PhasePublish, 1000, 1100, 1)
+	l.Record(0, PhaseCombine, 1100, 1900, 4)
+	l.Record(0, PhasePersist, 1900, 2400, 6)
+	l.Record(0, PhaseOp, 1000, 2500, 0)
+	// Thread 1: an instantaneous span must still get a visible width.
+	l.Record(1, PhaseWaitServe, 2000, 2000, 0)
+
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, []NamedSpans{{Name: "PBmap/t2", Log: l}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	// 1 process_name + 2 thread_name metadata events + 5 spans.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	var metas, spans int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			spans++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration in %v", e)
+			}
+			// Timestamps are microseconds: the publish span starts at 1 µs.
+			if e["name"] == "publish" && e["ts"].(float64) != 1.0 {
+				t.Fatalf("publish ts = %v µs", e["ts"])
+			}
+			// Phase-specific arg labels survive into the viewer.
+			if e["name"] == "persist" {
+				args := e["args"].(map[string]any)
+				if args["pwbs"].(float64) != 6 {
+					t.Fatalf("persist args = %v", args)
+				}
+			}
+			if e["name"] == "combine" {
+				args := e["args"].(map[string]any)
+				if args["ops"].(float64) != 4 {
+					t.Fatalf("combine args = %v", args)
+				}
+			}
+		}
+	}
+	if metas != 3 || spans != 5 {
+		t.Fatalf("metas=%d spans=%d", metas, spans)
+	}
+}
+
+func TestWriteSpanTraceNesting(t *testing.T) {
+	l := NewSpanLog(1, 8)
+	l.Record(0, PhaseCombine, 500, 800, 2)
+	l.Record(0, PhaseOp, 400, 900, 0)
+	var buf bytes.Buffer
+	if err := WriteSpanTrace(&buf, []NamedSpans{{Name: "x", Log: l}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var op, comb map[string]any
+	for _, e := range doc.TraceEvents {
+		switch e["name"] {
+		case "op":
+			op = e
+		case "combine":
+			comb = e
+		}
+	}
+	if op == nil || comb == nil {
+		t.Fatalf("missing spans: %v", doc.TraceEvents)
+	}
+	// Containment on the same track is what makes the viewer nest them.
+	opTs, opEnd := op["ts"].(float64), op["ts"].(float64)+op["dur"].(float64)
+	cTs, cEnd := comb["ts"].(float64), comb["ts"].(float64)+comb["dur"].(float64)
+	if op["pid"] != comb["pid"] || op["tid"] != comb["tid"] {
+		t.Fatalf("op and combine on different tracks")
+	}
+	if cTs < opTs || cEnd > opEnd {
+		t.Fatalf("combine [%v,%v] not inside op [%v,%v]", cTs, cEnd, opTs, opEnd)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Telemetry is the live scrape target behind `pcomb-bench -serve`: it tracks
+// the benchmark point currently executing (its metrics sink and span log are
+// all-atomic, so scraping mid-run is safe) plus the last completed point's
+// record, and renders both in the Prometheus text exposition format. No
+// client library is involved — the format is a few lines of text.
+//
+// Wiring: StartPoint matches harness.Config.OnStart, FinishPoint is fed from
+// OnPoint via Result.Record, and the value itself is an http.Handler to
+// mount at /metrics.
+type Telemetry struct {
+	mu      sync.Mutex
+	alg     string
+	threads int
+	points  uint64
+	cur     *Metrics
+	spans   *SpanLog
+	last    *RunRecord
+}
+
+// NewTelemetry creates an empty telemetry target (scrapes before the first
+// StartPoint report only pcomb_points_started 0).
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// StartPoint repoints the live scrape targets at a benchmark point that is
+// about to run. Either sink may be nil when that instrumentation is off. The
+// signature matches harness.Config.OnStart.
+func (t *Telemetry) StartPoint(alg string, threads int, m *Metrics, spans *SpanLog) {
+	t.mu.Lock()
+	t.alg, t.threads = alg, threads
+	t.cur, t.spans = m, spans
+	t.points++
+	t.mu.Unlock()
+}
+
+// FinishPoint records a completed point's export record, exposed as the
+// pcomb_last_* gauges until the next point finishes.
+func (t *Telemetry) FinishPoint(rec RunRecord) {
+	t.mu.Lock()
+	t.last = &rec
+	t.mu.Unlock()
+}
+
+// ServeHTTP renders the Prometheus text format (mount at /metrics).
+func (t *Telemetry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	t.WritePrometheus(w)
+}
+
+// Expvar returns a JSON-friendly snapshot for obs.Publish: the running
+// point's identity, per-phase span summaries so far, and the last completed
+// record.
+func (t *Telemetry) Expvar() any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := map[string]any{
+		"algorithm": t.alg,
+		"threads":   t.threads,
+		"points":    t.points,
+	}
+	if t.spans != nil {
+		out["phases"] = t.spans.PhaseSummaries()
+	}
+	if t.cur != nil {
+		if ls := t.cur.LatencySummary(); ls != nil {
+			out["latency_ns"] = ls
+		}
+	}
+	if t.last != nil {
+		out["last"] = t.last
+	}
+	return out
+}
+
+// WritePrometheus writes every metric in the Prometheus text format.
+func (t *Telemetry) WritePrometheus(w io.Writer) {
+	t.mu.Lock()
+	alg, threads, points := t.alg, t.threads, t.points
+	cur, spans, last := t.cur, t.spans, t.last
+	t.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP pcomb_points_started Benchmark points started so far in this sweep.\n")
+	fmt.Fprintf(w, "# TYPE pcomb_points_started counter\n")
+	fmt.Fprintf(w, "pcomb_points_started %d\n", points)
+	if points > 0 {
+		fmt.Fprintf(w, "# HELP pcomb_point_info Identity of the currently running point.\n")
+		fmt.Fprintf(w, "# TYPE pcomb_point_info gauge\n")
+		fmt.Fprintf(w, "pcomb_point_info{algorithm=%q,threads=\"%d\"} 1\n", alg, threads)
+	}
+
+	if cur != nil {
+		if h := cur.Latency.Snapshot(); h.Count() > 0 {
+			fmt.Fprintf(w, "# HELP pcomb_op_latency_ns Per-operation latency of the running point.\n")
+			fmt.Fprintf(w, "# TYPE pcomb_op_latency_ns summary\n")
+			promSummary(w, "pcomb_op_latency_ns", "", h)
+		}
+		cs := cur.Comb.Snapshot()
+		if cs.Rounds > 0 {
+			fmt.Fprintf(w, "# HELP pcomb_comb_rounds_total Successful combining rounds.\n")
+			fmt.Fprintf(w, "# TYPE pcomb_comb_rounds_total counter\n")
+			fmt.Fprintf(w, "pcomb_comb_rounds_total %d\n", cs.Rounds)
+			fmt.Fprintf(w, "pcomb_comb_combined_ops_total %d\n", cs.CombinedOps)
+			fmt.Fprintf(w, "pcomb_comb_helped_ops_total %d\n", cs.HelpedOps)
+			fmt.Fprintf(w, "pcomb_comb_lock_fails_total %d\n", cs.LockFails)
+			fmt.Fprintf(w, "pcomb_comb_sc_fails_total %d\n", cs.SCFails)
+			fmt.Fprintf(w, "# HELP pcomb_comb_degree_mean Mean combining degree (ops served per round).\n")
+			fmt.Fprintf(w, "# TYPE pcomb_comb_degree_mean gauge\n")
+			fmt.Fprintf(w, "pcomb_comb_degree_mean %g\n", cs.MeanDegree)
+			fmt.Fprintf(w, "# HELP pcomb_comb_degree Combining-degree distribution.\n")
+			fmt.Fprintf(w, "# TYPE pcomb_comb_degree histogram\n")
+			promHist(w, "pcomb_comb_degree", "", cs.DegreeDist)
+		}
+		if cs.Batches > 0 {
+			fmt.Fprintf(w, "# HELP pcomb_batch_size Vectorized-announcement size distribution.\n")
+			fmt.Fprintf(w, "# TYPE pcomb_batch_size histogram\n")
+			promHist(w, "pcomb_batch_size", "", cs.BatchDist)
+		}
+	}
+
+	if spans != nil {
+		first := true
+		for p := Phase(0); p < numPhases; p++ {
+			h := spans.hist[p].Snapshot()
+			if h.Count() == 0 {
+				continue
+			}
+			if first {
+				fmt.Fprintf(w, "# HELP pcomb_phase_latency_ns Lifecycle-phase durations of the running point.\n")
+				fmt.Fprintf(w, "# TYPE pcomb_phase_latency_ns summary\n")
+				first = false
+			}
+			promSummary(w, "pcomb_phase_latency_ns", fmt.Sprintf("phase=%q,", p), h)
+		}
+	}
+
+	if last != nil {
+		lbl := fmt.Sprintf("algorithm=%q,threads=\"%d\"", last.Algorithm, last.Threads)
+		fmt.Fprintf(w, "# HELP pcomb_last_mops Throughput of the last completed point (Mops/s).\n")
+		fmt.Fprintf(w, "# TYPE pcomb_last_mops gauge\n")
+		fmt.Fprintf(w, "pcomb_last_mops{%s} %g\n", lbl, last.Mops)
+		fmt.Fprintf(w, "# HELP pcomb_last_pwbs_per_op Persistence write-backs per operation, last point.\n")
+		fmt.Fprintf(w, "# TYPE pcomb_last_pwbs_per_op gauge\n")
+		fmt.Fprintf(w, "pcomb_last_pwbs_per_op{%s} %g\n", lbl, last.PwbsPerOp)
+		fmt.Fprintf(w, "pcomb_last_pfences_per_op{%s} %g\n", lbl, last.PfencesPerOp)
+		fmt.Fprintf(w, "pcomb_last_psyncs_per_op{%s} %g\n", lbl, last.PsyncsPerOp)
+	}
+}
+
+// promSummary emits a Prometheus summary (quantiles + _sum + _count) from a
+// histogram snapshot. labels, when non-empty, must end with a comma.
+func promSummary(w io.Writer, name, labels string, h *Hist) {
+	for _, q := range [...]float64{0.5, 0.99, 0.999} {
+		fmt.Fprintf(w, "%s{%squantile=\"%g\"} %g\n", name, labels, q, h.Quantile(q))
+	}
+	lbl := ""
+	if labels != "" {
+		lbl = "{" + labels[:len(labels)-1] + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, lbl, h.Mean()*float64(h.Count()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, h.Count())
+}
+
+// promHist emits a Prometheus histogram (cumulative le buckets + _sum +
+// _count) from exported buckets. labels, when non-empty, must end with a
+// comma.
+func promHist(w io.Writer, name, labels string, buckets []Bucket) {
+	var cum, count uint64
+	var sum float64
+	for _, b := range buckets {
+		cum += b.Count
+		count += b.Count
+		// Attribute the bucket's mass to its midpoint for the _sum estimate.
+		sum += float64(b.Count) * (float64(b.Lo) + float64(b.Hi)) / 2
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%d\"} %d\n", name, labels, b.Hi, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	lbl := ""
+	if labels != "" {
+		lbl = "{" + labels[:len(labels)-1] + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, lbl, sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, count)
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTelemetryPrometheusLifecycle(t *testing.T) {
+	tel := NewTelemetry()
+
+	// Before any point: only the points counter, at zero.
+	var sb strings.Builder
+	tel.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "pcomb_points_started 0") {
+		t.Fatalf("empty scrape missing points counter:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "pcomb_point_info") {
+		t.Fatalf("empty scrape claims a running point:\n%s", sb.String())
+	}
+
+	// A running point with metrics and spans: everything live shows up.
+	m := NewMetrics(2)
+	m.RecordLatency(0, 1000)
+	m.RecordLatency(1, 3000)
+	m.Comb.Round(0, 8)
+	m.Comb.Round(0, 8)
+	spans := NewSpanLog(2, 16)
+	spans.Record(0, PhasePersist, 0, 500, 3)
+	tel.StartPoint("PBmap", 2, m, spans)
+
+	sb.Reset()
+	tel.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"pcomb_points_started 1",
+		`pcomb_point_info{algorithm="PBmap",threads="2"} 1`,
+		`pcomb_op_latency_ns{quantile="0.5"}`,
+		"pcomb_op_latency_ns_count 2",
+		"pcomb_comb_rounds_total 2",
+		"pcomb_comb_degree_mean 8",
+		`pcomb_comb_degree_bucket{le="+Inf"} 2`,
+		`pcomb_phase_latency_ns{phase="persist",quantile="0.99"}`,
+		`pcomb_phase_latency_ns_count{phase="persist"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// A finished point surfaces as the last_* gauges.
+	tel.FinishPoint(RunRecord{Algorithm: "PBmap", Threads: 2, Mops: 3.25, PwbsPerOp: 1.5})
+	sb.Reset()
+	tel.WritePrometheus(&sb)
+	out = sb.String()
+	if !strings.Contains(out, `pcomb_last_mops{algorithm="PBmap",threads="2"} 3.25`) ||
+		!strings.Contains(out, `pcomb_last_pwbs_per_op{algorithm="PBmap",threads="2"} 1.5`) {
+		t.Fatalf("scrape missing last-point gauges:\n%s", out)
+	}
+}
+
+func TestTelemetryServeHTTP(t *testing.T) {
+	tel := NewTelemetry()
+	tel.StartPoint("PWFmap", 4, nil, nil)
+	rr := httptest.NewRecorder()
+	tel.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), `pcomb_point_info{algorithm="PWFmap",threads="4"} 1`) {
+		t.Fatalf("body:\n%s", rr.Body.String())
+	}
+}
+
+func TestTelemetryExpvar(t *testing.T) {
+	tel := NewTelemetry()
+	spans := NewSpanLog(1, 8)
+	spans.Record(0, PhaseCombine, 0, 100, 2)
+	tel.StartPoint("PBmap-b8", 1, NewMetrics(1), spans)
+	tel.FinishPoint(RunRecord{Algorithm: "PBmap-b8", Threads: 1, Mops: 1})
+	v := tel.Expvar().(map[string]any)
+	if v["algorithm"] != "PBmap-b8" || v["threads"] != 1 {
+		t.Fatalf("expvar identity: %v", v)
+	}
+	if _, ok := v["phases"].([]PhaseSummary); !ok {
+		t.Fatalf("expvar phases: %T", v["phases"])
+	}
+	if v["last"].(*RunRecord).Mops != 1 {
+		t.Fatalf("expvar last: %v", v["last"])
+	}
+}

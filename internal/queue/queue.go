@@ -21,6 +21,7 @@ import (
 
 	"pcomb/internal/core"
 	"pcomb/internal/history"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/pool"
 )
@@ -238,6 +239,18 @@ func (q *Queue) SetCombTracker(t core.CombTracker) {
 	}
 	if ct, ok := q.deq.(core.CombTrackable); ok {
 		ct.SetCombTracker(t)
+	}
+}
+
+// SetSpanLog installs per-op lifecycle span recording on both combining
+// instances (one shared log, so a thread's track interleaves enqueue and
+// dequeue spans).
+func (q *Queue) SetSpanLog(l *obs.SpanLog) {
+	if st, ok := q.enq.(core.SpanTrackable); ok {
+		st.SetSpanLog(l)
+	}
+	if st, ok := q.deq.(core.SpanTrackable); ok {
+		st.SetSpanLog(l)
 	}
 }
 

@@ -17,6 +17,7 @@ package stack
 import (
 	"pcomb/internal/core"
 	"pcomb/internal/history"
+	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
 	"pcomb/internal/pool"
 )
@@ -353,6 +354,14 @@ func (s *Stack) SetHistory(h *history.Recorder) { s.hist = h }
 func (s *Stack) SetCombTracker(t core.CombTracker) {
 	if ct, ok := s.comb.(core.CombTrackable); ok {
 		ct.SetCombTracker(t)
+	}
+}
+
+// SetSpanLog installs per-op lifecycle span recording on the stack's
+// combining instance.
+func (s *Stack) SetSpanLog(l *obs.SpanLog) {
+	if st, ok := s.comb.(core.SpanTrackable); ok {
+		st.SetSpanLog(l)
 	}
 }
 

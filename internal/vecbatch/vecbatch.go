@@ -16,7 +16,10 @@
 // contend.
 package vecbatch
 
-import "pcomb/internal/core"
+import (
+	"pcomb/internal/core"
+	"pcomb/internal/obs"
+)
 
 // Flusher commits one staged vector for thread tid and writes the per-op
 // responses into rets (len(rets) == len(ops)). It is called synchronously
@@ -29,7 +32,15 @@ type Pipe struct {
 	cap   int
 	flush Flusher
 	th    []pthread
+	spans *obs.SpanLog // per-op lifecycle spans; nil = tracing disabled
 }
+
+// SetSpanLog installs per-op lifecycle span recording on the pipe; nil
+// uninstalls it. While installed, every flush records a resolve span — the
+// time one staged vector took to commit durably and resolve its futures —
+// complementing the publish/combine/persist spans the underlying protocol
+// records inside the same interval.
+func (p *Pipe) SetSpanLog(l *obs.SpanLog) { p.spans = l }
 
 // pthread is one thread's staging state. Responses are double-buffered by
 // flush generation so the results of the previous flush stay readable while
@@ -82,7 +93,14 @@ func (p *Pipe) Flush(tid int) {
 	if len(t.ops) == 0 {
 		return
 	}
+	var t0 int64
+	if p.spans != nil {
+		t0 = obs.Now()
+	}
 	p.flush(tid, t.ops, t.rets[t.gen%2][:len(t.ops)])
+	if p.spans != nil {
+		p.spans.Record(tid, obs.PhaseResolve, t0, obs.Now(), uint64(len(t.ops)))
+	}
 	t.ops = t.ops[:0]
 	t.gen++
 }
