@@ -1,0 +1,244 @@
+//go:build linux
+
+package crashtest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pcomb/internal/pmem"
+)
+
+// TestMain routes re-exec'd kill children into KillChildMain before the test
+// framework runs: RunKill spawns this very test binary with the kill-child
+// environment set, and those processes must run the journaled workload (and
+// die) instead of the test suite.
+func TestMain(m *testing.M) {
+	if KillChildRequested() {
+		KillChildMain() // does not return
+	}
+	os.Exit(m.Run())
+}
+
+func killTestConfig(t *testing.T, target string) KillConfig {
+	t.Helper()
+	return KillConfig{
+		Target:   target,
+		Path:     filepath.Join(t.TempDir(), "heap.pcomb"),
+		Seed:     0xC0FFEE,
+		Rounds:   10,
+		Deadline: 30 * time.Second,
+	}
+}
+
+// TestKillCampaignMatrix runs a short real-SIGKILL campaign against every
+// target in the {PBcomb, PWFcomb} x {queue, map} matrix: every round must
+// recover and pass the durable-linearizability check, and the campaign must
+// actually kill children (a campaign that never kills proves nothing).
+func TestKillCampaignMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	for _, def := range KillTargets() {
+		def := def
+		t.Run(def.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := killTestConfig(t, def.Name)
+			rep, fail := RunKill(cfg)
+			if err := fail.ErrOrNil(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Rounds != cfg.Rounds {
+				t.Fatalf("ran %d rounds, want %d", rep.Rounds, cfg.Rounds)
+			}
+			if rep.Kills < 1 {
+				t.Fatalf("campaign never killed a child (completed=%d)", rep.Completed)
+			}
+			if rep.Ops == 0 {
+				t.Fatal("campaign verified no operations")
+			}
+			if rep.Checked == 0 {
+				t.Fatalf("no round got a durable-linearizability verdict (skipped=%d)", rep.Skipped)
+			}
+			if rep.Checked+rep.Skipped != rep.Rounds {
+				t.Fatalf("checked %d + skipped %d != rounds %d", rep.Checked, rep.Skipped, rep.Rounds)
+			}
+		})
+	}
+}
+
+// TestKillRecoveryKill kills recovery children mid-recovery on top of the
+// workload kills: the parent's verify pass then re-runs recovery over
+// already-recovered records and fails if the second pass's responses diverge
+// from the first's — recovery must be idempotent even when it is itself
+// interrupted and re-run.
+func TestKillRecoveryKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "queue/PWFqueue")
+	cfg.RecoverKill = true
+	cfg.Rounds = 24
+	rep, fail := RunKill(cfg)
+	if err := fail.ErrOrNil(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills < 1 {
+		t.Fatal("campaign never killed a workload child")
+	}
+	if rep.RecKills < 1 {
+		t.Fatalf("campaign never killed a recovery child in %d rounds", rep.Rounds)
+	}
+	if rep.Recovered == 0 {
+		t.Fatal("campaign never resolved an interrupted operation")
+	}
+}
+
+// TestKillTimerMode covers the wall-clock kill schedule: the parent waits for
+// the child's READY handshake, sleeps the planned slice, and SIGKILLs it from
+// outside — no cooperation from the child's instrumentation at all.
+func TestKillTimerMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "map/PWFmap")
+	cfg.Timer = true
+	cfg.PaceUs = 300
+	cfg.Rounds = 6
+	rep, fail := RunKill(cfg)
+	if err := fail.ErrOrNil(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills < 1 {
+		t.Fatalf("timer campaign never killed a child (completed=%d)", rep.Completed)
+	}
+}
+
+// TestKillReplay replays a single fixed kill schedule from a spec — the
+// mechanism behind the seed:round:point:rpoint reproducer tokens printed on
+// campaign failure.
+func TestKillReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "map/PBmap")
+	spec := KillSpec{Seed: 7, Round: 3, Point: 40}
+	cfg.Replay = &spec
+	rep, fail := RunKill(cfg)
+	if err := fail.ErrOrNil(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rounds != 1 {
+		t.Fatalf("replay ran %d rounds, want 1", rep.Rounds)
+	}
+}
+
+// TestKillSabotageCaught is the harness's mutation test: with the seeded
+// recovery bug enabled in the parent verifier (recovery skips the re-announce
+// and conditional re-perform), a campaign of real kills must produce a
+// durable-linearizability violation — and the failure must carry a parseable
+// reproducer token.
+func TestKillSabotageCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "queue/PBqueue")
+	cfg.Sabotage = true
+	cfg.Rounds = 40
+	rep, fail := RunKill(cfg)
+	if fail == nil {
+		t.Fatalf("sabotaged recovery survived %d rounds (%d kills, %d recovered ops)",
+			rep.Rounds, rep.Kills, rep.Recovered)
+	}
+	spec, err := ParseKillToken(fail.Spec.Token())
+	if err != nil {
+		t.Fatalf("failure token %q does not parse: %v", fail.Spec.Token(), err)
+	}
+	if spec != fail.Spec {
+		t.Fatalf("token round-trip changed spec: %+v -> %+v", fail.Spec, spec)
+	}
+}
+
+func TestParseKillToken(t *testing.T) {
+	spec := KillSpec{Seed: -3, Round: 11, Point: 1729, RecPoint: 42}
+	got, err := ParseKillToken(spec.Token())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Fatalf("round-trip: %+v -> %+v", spec, got)
+	}
+	for _, bad := range []string{"", "1:2:3", "1:2:3:4:5", "a:b:c:d"} {
+		if _, err := ParseKillToken(bad); err == nil {
+			t.Errorf("ParseKillToken(%q) accepted", bad)
+		}
+	}
+}
+
+// TestJournalSeqRepair exercises the journal's cross-lifetime sequence-number
+// discipline directly: records committed by one process must push the next
+// opener's sequence numbers strictly past everything already consumed, and
+// Reset must repair the bases even when End never ran.
+func TestJournalSeqRepair(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	j, err := OpenJournal(h, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, i1 := j.Begin(0, 0, 1, 10, 0)
+	j.End(0, i1, 99)
+	s2, i2 := j.Begin(0, 0, 1, 11, 0)
+	if s2 != s1+1 {
+		t.Fatalf("seq not consecutive: %d then %d", s1, s2)
+	}
+	// Second record left open — a kill between Begin and End.
+	_ = i2
+
+	// A second opener (same process lifetime rules as a reattach) must see
+	// both records and hand out a strictly larger sequence number.
+	j2, err := OpenJournal(h, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(j2.Records(0)); n != 2 {
+		t.Fatalf("reopened journal sees %d records, want 2", n)
+	}
+	if rec, ok := j2.Open(0); !ok || rec.Seq != s2 {
+		t.Fatalf("open record = %+v, %v; want seq %d", rec, ok, s2)
+	}
+	s3, _ := j2.Begin(0, 0, 1, 12, 0)
+	if s3 <= s2 {
+		t.Fatalf("reopened journal reused sequence: %d after %d", s3, s2)
+	}
+
+	// Reset advances the round and repairs the bases: the next sequence is
+	// still strictly larger than anything ever consumed.
+	r0 := j2.Round()
+	j2.Reset()
+	if j2.Round() != r0+1 {
+		t.Fatalf("round %d after reset, want %d", j2.Round(), r0+1)
+	}
+	if n := len(j2.Records(0)); n != 0 {
+		t.Fatalf("%d records after reset, want 0", n)
+	}
+	s4, _ := j2.Begin(0, 0, 1, 13, 0)
+	if s4 <= s3 {
+		t.Fatalf("post-reset sequence reused: %d after %d", s4, s3)
+	}
+}
+
+// TestOpenJournalGeometryMismatch pins the typed error for reattaching the
+// journal with the wrong shape.
+func TestOpenJournalGeometryMismatch(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	if _, err := OpenJournal(h, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenJournal(h, 3, 8)
+	if !errors.Is(err, pmem.ErrSizeMismatch) {
+		t.Fatalf("threads mismatch error = %v, want ErrSizeMismatch", err)
+	}
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package crashtest
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"syscall"
+)
+
+// selfKill raises SIGKILL on the calling process: no unwinding, no deferred
+// cleanup, no atexit — the real death the kill campaign is about. It never
+// returns (the kernel stops every thread before Kill comes back).
+func selfKill() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable; keeps the signature honest if Kill somehow fails
+}
+
+// killedBySIGKILL reports whether a child's Wait error means it died to
+// SIGKILL (ours or the backstop's).
+func killedBySIGKILL(err error) bool {
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		return false
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package crashtest
+
+// The process-kill campaign requires linux (mmap file heaps, SIGKILL wait
+// status decoding); RunKill refuses to start elsewhere, so these are never
+// reached.
+
+func selfKill() { panic("crashtest: selfKill requires linux") }
+
+func killedBySIGKILL(err error) bool { return false }

@@ -83,6 +83,22 @@ func (h *Heap) SetCrashAtEvent(k int64) {
 	h.crashAtEvent.Store(h.events.Load() + k)
 }
 
+// SetKillAtEvent arranges for kill to run at the k-th subsequent global
+// persistence event (counted like SetCrashAtEvent). The crashtest kill
+// harness installs a function that raises SIGKILL on the calling process, so
+// the process really dies — no unwinding, no deferred cleanup — at a
+// deterministic, replayable point in the persistence-event stream. kill must
+// not return. Install before workers start; k <= 0 disarms. ModeShadow only.
+func (h *Heap) SetKillAtEvent(k int64, kill func()) {
+	if k <= 0 {
+		h.killAtEvent.Store(0)
+		h.killFn = nil
+		return
+	}
+	h.killFn = kill
+	h.killAtEvent.Store(h.events.Load() + k)
+}
+
 // GlobalEvents returns the total number of persistence events executed on
 // this heap across all contexts (ModeShadow only; zero otherwise). Crash
 // enumeration records one run's event count and then replays it, crashing

@@ -95,6 +95,11 @@ func (c *Ctx) event() {
 			c.h.crashedFlag.Store(true)
 			panic(CrashError{})
 		}
+		if t := c.h.killAtEvent.Load(); t > 0 && n >= t {
+			if f := c.h.killFn; f != nil {
+				f() // does not return (self-SIGKILL)
+			}
+		}
 	}
 }
 
@@ -189,10 +194,29 @@ func (c *Ctx) PSync() {
 	c.charge(c.h.psyncCost, 1)
 }
 
-// drainAll makes every pending write-back durable.
+// drainAll makes every pending write-back durable. On a file-backed heap
+// with a sync mode active, the fence additionally msyncs the pages covering
+// the fence's accumulated line set, so fence retirement implies the lines
+// reached storage (power-failure durability), not just the page cache.
 func (c *Ctx) drainAll() {
+	fs := c.h.fs
+	syncing := fs != nil && fs.sync != SyncNone
+	loW, hiW := 0, 0
 	for _, f := range c.pending {
 		f.r.applyShadowLine(f.line, f.data)
+		if syncing {
+			lo := f.r.fileOff + f.line*LineWords
+			hi := lo + len(f.data)
+			if hiW == 0 || lo < loW {
+				loW = lo
+			}
+			if hi > hiW {
+				hiW = hi
+			}
+		}
+	}
+	if syncing && hiW > 0 {
+		fs.syncWords(loW, hiW)
 	}
 	c.pending = c.pending[:0]
 }

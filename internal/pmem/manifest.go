@@ -122,7 +122,8 @@ func (h *Heap) manifestVerifyEntryLocked(name string, words int) error {
 			return fmt.Errorf("%w: entry %d (%s) checksum mismatch", ErrCorruptManifest, i, name)
 		}
 		if int(w) != words {
-			return fmt.Errorf("pmem: region %q reopened with %d words, manifest has %d", name, words, w)
+			return fmt.Errorf("%w: region %q reopened with %d words, manifest has %d",
+				ErrSizeMismatch, name, words, w)
 		}
 		return nil
 	}

@@ -27,6 +27,7 @@
 package pmem
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -99,7 +100,19 @@ type Heap struct {
 	ctxs     []*Ctx
 	manifest *Region
 
+	// fs, when non-nil, is the mmap file store backing every region's
+	// durable shadow (see filestore.go).
+	fs *fileStore
+
 	crashedFlag atomic.Bool
+
+	// killAtEvent/killFn implement the real-death analogue of crashAtEvent:
+	// at the k-th global persistence event killFn runs — the crashtest kill
+	// harness installs a self-SIGKILL, so the process dies at a
+	// deterministic, replayable point. killFn is set before workers start
+	// and must not return.
+	killAtEvent atomic.Int64
+	killFn      func()
 
 	// Global persistence-event bookkeeping (ModeShadow only): events counts
 	// every pwb/pfence/psync/CrashPoint across all contexts, and
@@ -118,6 +131,14 @@ type Heap struct {
 
 // NewHeap creates a simulated NVMM heap.
 func NewHeap(cfg Config) *Heap {
+	h := newHeapBare(cfg)
+	h.initManifestLocked()
+	return h
+}
+
+// newHeapBare builds a heap without its region manifest — OpenFile's
+// reattach path recovers the manifest from the file instead of creating it.
+func newHeapBare(cfg Config) *Heap {
 	if cfg.PwbNs == 0 {
 		cfg.PwbNs = DefaultPwbNs
 	}
@@ -139,7 +160,6 @@ func NewHeap(cfg Config) *Heap {
 	if !cfg.NoCost {
 		h.missCost = costForNs(cfg.MissNs)
 	}
-	h.initManifestLocked()
 	return h
 }
 
@@ -187,7 +207,8 @@ func (h *Heap) OpenChecked(name string, words int) (*Region, error) {
 			return nil, err
 		}
 		if len(r.words) != words {
-			return nil, fmt.Errorf("pmem: region %q reopened with %d words, has %d", name, words, len(r.words))
+			return nil, fmt.Errorf("%w: region %q reopened with %d words, has %d",
+				ErrSizeMismatch, name, words, len(r.words))
 		}
 		return r, nil
 	}
@@ -202,7 +223,22 @@ func (h *Heap) allocLocked(name string, words int) *Region {
 		words: make([]uint64, words),
 	}
 	if h.cfg.Mode == ModeShadow {
-		r.shadow = make([]uint64, words)
+		if h.fs != nil {
+			off, err := h.fs.addEntry(name, words)
+			if err != nil {
+				panic(err)
+			}
+			r.shadow = h.fs.words[off : off+words : off+words]
+			r.fileOff = off
+			// The file is zero-filled at creation, but a slot abandoned by a
+			// killed, uncommitted allocation may hold stale bytes: a fresh
+			// region's durable contents must be zero either way.
+			for i := range r.shadow {
+				r.shadow[i] = 0
+			}
+		} else {
+			r.shadow = make([]uint64, words)
+		}
 	}
 	h.regions[name] = r
 	h.byID = append(h.byID, r)
@@ -212,11 +248,33 @@ func (h *Heap) allocLocked(name string, words int) *Region {
 	return r
 }
 
-// Region looks up a region by name, returning nil if absent.
+// ErrRegionNotFound reports a lookup of a region name the heap has never
+// allocated.
+var ErrRegionNotFound = errors.New("pmem: region not found")
+
+// ErrSizeMismatch reports that a region was re-opened with a size different
+// from the one it was allocated (or the manifest records) — a caller bug or
+// layout-version skew, distinct from checksum corruption
+// (ErrCorruptManifest).
+var ErrSizeMismatch = errors.New("pmem: region size mismatch")
+
+// Region looks up a region by name, returning nil if absent. Prefer
+// RegionChecked in code that cannot prove the region exists.
 func (h *Heap) Region(name string) *Region {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.regions[name]
+}
+
+// RegionChecked looks up a region by name, returning an error wrapping
+// ErrRegionNotFound if the heap has no such region.
+func (h *Heap) RegionChecked(name string) (*Region, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if r, ok := h.regions[name]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrRegionNotFound, name)
 }
 
 // NewCtx returns a fresh per-thread persistence context. Each simulated

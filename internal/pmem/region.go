@@ -13,6 +13,11 @@ type Region struct {
 	words  []uint64
 	shadow []uint64 // durable contents; present only in ModeShadow
 	shadMu sync64   // guards shadow
+
+	// fileOff is the shadow's word offset inside the heap's backing file
+	// (meaningful only when the heap is file-backed; used to msync the
+	// fence-accumulated line set).
+	fileOff int
 }
 
 // sync64 is a tiny spin mutex so Region stays lightweight; shadow updates are
