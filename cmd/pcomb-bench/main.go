@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -35,11 +36,12 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba all, or tail (open-loop)")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba ep all, or tail (open-loop)")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
 		batches  = flag.String("batch", "1,8,32", "comma-separated batch sizes for -figure ba (1 = scalar baseline)")
+		epochUs  = flag.String("epoch-us", "200,1000,2000", "comma-separated epoch close cadences (µs) for -figure ep")
 		t1n      = flag.Int("t1-threads", 128, "thread count for Table 1")
 		pwbNs    = flag.Int("pwb-ns", pmem.DefaultPwbNs, "simulated pwb cost (ns)")
 		pfenceNs = flag.Int("pfence-ns", pmem.DefaultPfenceNs, "simulated pfence cost (ns)")
@@ -86,6 +88,15 @@ func main() {
 			os.Exit(2)
 		}
 		batchSizes = append(batchSizes, b)
+	}
+	var epochList []int
+	for _, part := range strings.Split(*epochUs, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "bad epoch cadence %q\n", part)
+			os.Exit(2)
+		}
+		epochList = append(epochList, d)
 	}
 	var rateList []float64
 	for _, part := range strings.Split(*rates, ",") {
@@ -139,6 +150,28 @@ func main() {
 		}
 		defer f.Close()
 		jsonW = f
+	}
+	if jsonW != nil {
+		// First line of every export: the knobs the numbers depend on, so a
+		// committed artifact is self-describing. Consumers keyed on
+		// (figure, algorithm, threads) — perfgate included — skip it.
+		meta := struct {
+			Meta     string `json:"meta"`
+			Ops      uint64 `json:"ops"`
+			Threads  string `json:"thread_list"`
+			PwbNs    int    `json:"pwb_ns"`
+			PfenceNs int    `json:"pfence_ns"`
+			PsyncNs  int    `json:"psync_ns"`
+			NoCost   bool   `json:"no_cost,omitempty"`
+			EpochUs  string `json:"epoch_us"`
+			Cores    int    `json:"host_cores"`
+			Go       string `json:"go"`
+		}{"pcomb-bench", *ops, *threads, *pwbNs, *pfenceNs, *psyncNs,
+			*noCost, *epochUs, runtime.NumCPU(), runtime.Version()}
+		if err := json.NewEncoder(jsonW).Encode(meta); err != nil {
+			fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	var tel *obs.Telemetry
 	if *serveAt != "" {
@@ -279,6 +312,16 @@ func main() {
 				}
 			}
 		},
+		"ep": func() {
+			series := harness.FigEpoch(cfg, epochList)
+			emit("Extensions ep: epoch-mode group commit vs strict rounds", "Mops/s", series)
+			if *format == "table" {
+				// The price of the loss window: how long a Wait for
+				// durability would have blocked, per close cadence.
+				harness.PrintSeries(os.Stdout, "Extensions ep: resolve-at-close latency", "resolve-p99-ns", series)
+				harness.PrintSeries(os.Stdout, "Extensions ep: vs strict persistence work", "pwbs/op", series)
+			}
+		},
 		"tail": func() {
 			// The open-loop figure needs the latency histograms for the
 			// response/queueing/service split regardless of -metrics.
@@ -295,7 +338,7 @@ func main() {
 		},
 	}
 
-	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba"}
+	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba", "ep"}
 	do := func(f string) {
 		curFig = f // tags the JSONL records emitted while this figure runs
 		runs[f]()

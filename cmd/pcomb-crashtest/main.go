@@ -169,6 +169,25 @@ func matrixVariants() []target {
 			return func(s int64) crashtest.Driver { return crashtest.NewBatchRegisterDriverWith(wf, true, n, s) }
 		})
 	}
+	// Epoch-mode relaxed durability: the checker switches to the epoch-aware
+	// crash cut — closed-epoch completions must survive, last-open-epoch
+	// completions may vanish wholesale.
+	for _, kind := range []queue.Kind{queue.Blocking, queue.WaitFree} {
+		kind := kind
+		add(func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver {
+				return crashtest.NewQueueDriver(kind, queue.Options{Capacity: 1 << 20, Epoch: true}, n, s)
+			}
+		})
+	}
+	for _, kind := range []hashmap.Kind{hashmap.Blocking, hashmap.WaitFree} {
+		kind := kind
+		add(func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver {
+				return crashtest.NewMapDriverWith(kind, hashmap.Options{Shards: 8, Epoch: true}, n, s)
+			}
+		})
+	}
 	return out
 }
 

@@ -58,6 +58,9 @@ func load(path string) (map[key]obs.RunRecord, error) {
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
 		}
+		if rec.Figure == "" {
+			continue // bench meta header, not a measured point
+		}
 		out[key{rec.Figure, rec.Algorithm, rec.Threads}] = rec
 	}
 	return out, sc.Err()

@@ -4,7 +4,17 @@ import (
 	"sync/atomic"
 
 	"pcomb/internal/obs"
+	"pcomb/internal/pmem"
 )
+
+// EpochCapable is implemented by protocols that support epoch-mode relaxed
+// durability (PBComb and PWFComb): the wrapper attaches one shared
+// pmem.Epoch per structure and uses the deactivate parity to classify
+// in-flight operations during epoch-aware recovery.
+type EpochCapable interface {
+	AttachEpoch(e *pmem.Epoch)
+	DeactParity(tid int) uint64
+}
 
 // recoverSabotage, when set, makes Recover/RecoverVec skip the re-announce
 // and conditional re-perform and hand back whatever the return slot holds —

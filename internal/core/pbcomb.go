@@ -211,6 +211,25 @@ func (c *PBComb) Threads() int { return c.n }
 // outside the combining record and for harness accounting).
 func (c *PBComb) Ctx(tid int) *pmem.Ctx { return c.ctxs[tid] }
 
+// AttachEpoch switches the instance to epoch-mode relaxed durability: every
+// per-thread context defers its persistence instructions into e's buffer,
+// to be replayed by e's closer. Call once after construction (boot-time
+// persistence stays strict) and before concurrent use.
+func (c *PBComb) AttachEpoch(e *pmem.Epoch) {
+	for _, ctx := range c.ctxs {
+		ctx.SetEpochBuf(e.Buf())
+	}
+}
+
+// DeactParity returns thread tid's deactivate bit in the currently valid
+// state record. After a crash's rollback to durable state this is the
+// durable parity, which epoch-mode recovery compares against the in-flight
+// sequence number to decide whether the operation certainly did not commit.
+func (c *PBComb) DeactParity(tid int) uint64 {
+	mi := c.meta.Load(0)
+	return c.state.Load(c.recOff(mi) + c.deactOff + tid)
+}
+
 // CurrentState returns a read-only view of the currently valid object state.
 // It is safe only when no operations are in flight (harness/verification use).
 func (c *PBComb) CurrentState() State {

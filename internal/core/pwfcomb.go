@@ -234,6 +234,20 @@ func (c *PWFComb) Threads() int { return c.n }
 // Ctx returns thread tid's persistence context.
 func (c *PWFComb) Ctx(tid int) *pmem.Ctx { return c.ctxs[tid] }
 
+// AttachEpoch switches the instance to epoch-mode relaxed durability, as
+// PBComb.AttachEpoch.
+func (c *PWFComb) AttachEpoch(e *pmem.Epoch) {
+	for _, ctx := range c.ctxs {
+		ctx.SetEpochBuf(e.Buf())
+	}
+}
+
+// DeactParity returns thread tid's deactivate bit in the currently valid
+// state record, as PBComb.DeactParity.
+func (c *PWFComb) DeactParity(tid int) uint64 {
+	return c.readRecWord(tid, c.deactOff+tid)
+}
+
 func (c *PWFComb) recOff(slot int) int { return slot * c.recWords }
 
 // retSlot returns the record-relative offset of thread q's first ReturnVal

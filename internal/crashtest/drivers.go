@@ -171,6 +171,14 @@ type queueDriver struct {
 	resolved           []bool
 	folded             bool
 	recovered          int
+
+	// Epoch mode: the durably closed epoch observed at the FIRST post-crash
+	// reopen of the round. Recovery's own closes advance the durable stamp
+	// past epochs whose buffered write-backs died with the crash, so only the
+	// first observation separates "durably closed before the crash" from
+	// "lost".
+	crashStamp uint64
+	stampSet   bool
 }
 
 // NewQueueDriver builds a queue target for n threads. With opt.VecCap > 1
@@ -197,6 +205,9 @@ func (d *queueDriver) Name() string {
 	if d.vec() {
 		base += "-vec"
 	}
+	if d.opt.Epoch {
+		base += "-epoch"
+	}
 	return base
 }
 
@@ -207,6 +218,10 @@ func (d *queueDriver) Open(h *pmem.Heap) {
 		d.dvp = d.q.DeqProtocol().(core.VecProtocol)
 	} else {
 		d.q.SetHistory(d.rec)
+	}
+	if d.opt.Epoch && !d.stampSet {
+		d.crashStamp = d.q.EpochClosed()
+		d.stampSet = true
 	}
 	d.durCut()
 }
@@ -228,6 +243,7 @@ func (d *queueDriver) BeginRound(round int) {
 	d.resolved = make([]bool, d.n)
 	d.folded = false
 	d.recovered = 0
+	d.stampSet = false
 }
 
 func (d *queueDriver) Step(tid, i int) {
@@ -236,6 +252,11 @@ func (d *queueDriver) Step(tid, i int) {
 		return
 	}
 	r := d.tRngs[tid]
+	if d.opt.Epoch && r.Intn(6) == 0 {
+		// Close epochs from worker threads so crash points land inside the
+		// close pass itself, not just between operations.
+		d.q.Sync()
+	}
 	if r.Intn(2) == 0 {
 		v := uint64(d.round+1)<<48 | uint64(tid+1)<<32 | uint64(i) + 1
 		d.eseq[tid]++
@@ -313,6 +334,9 @@ func (d *queueDriver) stepVec(tid, i int) {
 }
 
 func (d *queueDriver) Recover() (int, error) {
+	if d.opt.Epoch {
+		return d.recoverEpoch()
+	}
 	if !d.folded {
 		for tid := 0; tid < d.n; tid++ {
 			for _, v := range d.localEnq[tid] {
@@ -395,7 +419,111 @@ func (d *queueDriver) recoverVec(tid int) error {
 	return nil
 }
 
+// recoverEpoch resolves the round under epoch-mode semantics. The deactivate
+// parity scheme proves "certainly not durably served" (parity differs from
+// the in-flight seq's low bit) but cannot distinguish "durably served" from
+// "vanished along with an odd run of later completions" — so certain ops are
+// re-performed and ambiguous ones left to the history checker. Resolution
+// runs in two phases: re-perform everything with the recorder detached, then
+// Sync() to make the re-performances durable, and only then commit the
+// driver bookkeeping and history resolutions. A nested crash inside the Sync
+// therefore retries phase one from scratch against the rolled-back state,
+// with nothing half-marked.
+func (d *queueDriver) recoverEpoch() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, v := range d.localEnq[tid] {
+				d.enqueued[v] = true
+			}
+			for _, v := range d.localCon[tid] {
+				// No consumed-twice verdict here: a dequeue whose epoch never
+				// closed legitimately vanishes, and its value may be consumed
+				// again in a later round.
+				d.consumed[v] = true
+			}
+		}
+		d.folded = true
+	}
+	d.q.SetHistory(nil)
+	type outcome struct {
+		enq bool
+		v   uint64
+		ok  bool
+		amb bool
+	}
+	res := map[int]outcome{}
+	for tid := 0; tid < d.n; tid++ {
+		if d.resolved[tid] || !d.pend[tid].active {
+			continue
+		}
+		p := d.pend[tid]
+		if p.op == queue.OpEnq {
+			if d.q.EnqDeactParity(tid) != p.seq&1 {
+				d.q.RecoverEnqueue(tid, p.a0, p.seq)
+				res[tid] = outcome{enq: true, v: p.a0}
+			} else {
+				res[tid] = outcome{enq: true, v: p.a0, amb: true}
+			}
+		} else {
+			if d.q.DeqDeactParity(tid) != p.seq&1 {
+				v, ok := d.q.RecoverDequeue(tid, p.seq)
+				res[tid] = outcome{v: v, ok: ok}
+			} else {
+				res[tid] = outcome{amb: true}
+			}
+		}
+	}
+	d.q.Sync()
+	for tid, o := range res {
+		d.resolved[tid] = true
+		d.recovered++
+		switch {
+		case o.amb && o.enq:
+			// Served-or-vanished: the value may durably sit in the queue, so
+			// residue containing it is not phantom; the history op stays
+			// pending (free to linearize or vanish).
+			d.enqueued[o.v] = true
+		case o.amb:
+			// An ambiguous dequeue either vanished or durably consumed a
+			// value this driver cannot name; its history op stays pending.
+		case o.enq:
+			d.enqueued[o.v] = true
+			if d.rec != nil {
+				d.rec.Resolve(tid, queue.EnqOK)
+			}
+		default:
+			if o.ok {
+				d.consumed[o.v] = true
+			}
+			if d.rec != nil {
+				out := queue.Empty
+				if o.ok {
+					out = o.v
+				}
+				d.rec.Resolve(tid, out)
+			}
+		}
+	}
+	// Realign the caller-owned sequence counters: trailing vanished
+	// completions consumed numbers the durable deactivate bits never saw, and
+	// a parity collision would make the next announcement be swallowed as
+	// already served. Skipped numbers are harmless — the protocols only
+	// consume the low bit.
+	for tid := 0; tid < d.n; tid++ {
+		if (d.eseq[tid]+1)&1 == d.q.EnqDeactParity(tid) {
+			d.eseq[tid]++
+		}
+		if (d.dseq[tid]+1)&1 == d.q.DeqDeactParity(tid) {
+			d.dseq[tid]++
+		}
+	}
+	return d.recovered, nil
+}
+
 func (d *queueDriver) Check() error {
+	if d.opt.Epoch {
+		return d.checkEpoch()
+	}
 	residue := d.q.Snapshot()
 	seen := map[uint64]bool{}
 	for _, v := range residue {
@@ -423,13 +551,46 @@ func (d *queueDriver) Check() error {
 	return nil
 }
 
+// checkEpoch keeps the conservation checks that stay sound when completed
+// operations of the last open epoch may vanish: residue values must come
+// from some attempted enqueue, appear at most once, and consumed values must
+// have been enqueued. Dropped relative to strict mode: consumed-still-in-
+// queue, consumed-twice and enqueued-lost — a vanished dequeue legitimately
+// puts its value back, and a vanished enqueue legitimately loses one. The
+// epoch-aware history check (CheckHistory) supplies the ordering guarantees
+// these conservation checks can no longer express.
+func (d *queueDriver) checkEpoch() error {
+	seen := map[uint64]bool{}
+	for _, v := range d.q.Snapshot() {
+		if !d.enqueued[v] {
+			return fmt.Errorf("phantom residue value %x", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("duplicate residue value %x", v)
+		}
+		seen[v] = true
+	}
+	for v := range d.consumed {
+		if !d.enqueued[v] {
+			return fmt.Errorf("consumed never-enqueued value %x", v)
+		}
+	}
+	return nil
+}
+
 // CheckHistory implements HistoryDriver: the surviving residue becomes audit
 // dequeues in FIFO order plus one empty-check, and the whole round must
 // durably linearize over the queue model seeded with the round-start
-// snapshot.
+// snapshot. In epoch mode, completed operations labeled beyond the first
+// post-crash durable stamp are downgraded to volatile first — they may keep
+// their recorded effect or vanish, while closed-epoch completions must still
+// linearize.
 func (d *queueDriver) CheckHistory() (bool, error) {
 	if d.rec == nil {
 		return false, nil
+	}
+	if d.opt.Epoch && d.stampSet {
+		d.rec.MarkVolatileAfter(d.crashStamp)
 	}
 	var audits []lin.Op
 	for _, v := range d.q.Snapshot() {

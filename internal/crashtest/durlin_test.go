@@ -26,13 +26,16 @@ func TestMatrixTargetNames(t *testing.T) {
 			t.Fatalf("target %q builds driver named %q", tg.Name, got)
 		}
 	}
-	// 2 counters + 8 each for queue/stack/heap/map + 8 register variants.
-	if len(targets) != 42 {
-		t.Fatalf("matrix has %d targets, want 42", len(targets))
+	// 2 counters + 8 each for queue/stack/heap/map + 8 register variants +
+	// 2 epoch queues + 2 epoch maps.
+	if len(targets) != 46 {
+		t.Fatalf("matrix has %d targets, want 46", len(targets))
 	}
 	for _, want := range []string{
 		"counter/PWFcomb",
 		"queue/PBqueue", "queue/PWFqueue-sparse-vec",
+		"queue/PBqueue-epoch", "queue/PWFqueue-epoch",
+		"map/PBmap-epoch", "map/PWFmap-epoch",
 		"stack/PBstack-vec", "stack/PWFstack-sparse",
 		"heap/PBheap-sparse", "heap/PWFheap-vec",
 		"map/PBmap-vec", "map/PWFmap-dense",
@@ -99,6 +102,8 @@ func TestDurLinEnumerate(t *testing.T) {
 		"map/PBmap-vec",
 		"map/PWFmap",
 		"register/PWFbatch",
+		"queue/PBqueue-epoch",
+		"map/PWFmap-epoch",
 	} {
 		tg, ok := byName[name]
 		if !ok {

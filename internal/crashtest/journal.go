@@ -24,10 +24,18 @@ import (
 // recoverability is impossible without it), so it is durable without
 // fences and exempt from pwb accounting, like the structures' own sysAreas.
 //
-// Layout (words): one header line [magic, threads, cap, round], then per
-// thread one line [count, seqBase(class 0), seqBase(class 1), maxStamp]
+// Layout (words): one header line [magic, threads, cap, round, cutRound,
+// cutStamp] (the cut pair backs EpochCut), then per thread one line
+// [count, seqBase(class 0), seqBase(class 1), maxStamp]
 // followed by cap fixed-stride records
-// [kind, a0, a1, seq, call, ret, out, state|class<<8].
+// [kind, a0, a1, seq, call, ret, out, state|class<<8|epoch<<16].
+//
+// The epoch field (bits 16+ of the state word, written by EndEpoch) is the
+// structure's open-epoch label read after the operation returned. Epoch-mode
+// targets use it to split completed records at the crash cut: a record whose
+// epoch exceeds the durable stamp the verifier finds at reopen completed only
+// volatile — its effect may have vanished with the kill — while records of
+// closed epochs must survive. Strict targets leave it zero.
 //
 // Begin's commit point is the count increment: record fields are written
 // first, so a kill mid-Begin leaves the record invisible and its sequence
@@ -68,6 +76,7 @@ type KillRec struct {
 	Out   uint64
 	State int
 	Class int
+	Epoch uint64 // open-epoch label at completion (EndEpoch); 0 for strict targets
 }
 
 // Journal wraps the persistent log region. One Journal per process per open;
@@ -177,12 +186,18 @@ func (j *Journal) Begin(tid, class int, kind, a0, a1 uint64) (seq uint64, idx in
 // End durably records the operation's response. A kill between Begin and End
 // leaves the record open: the verifier resolves it through the structure's
 // recovery function.
-func (j *Journal) End(tid, idx int, out uint64) {
+func (j *Journal) End(tid, idx int, out uint64) { j.EndEpoch(tid, idx, out, 0) }
+
+// EndEpoch is End carrying the structure's open-epoch label, read AFTER the
+// operation returned (a lower bound on the close that persists its effect —
+// see pmem.Epoch.Now). Epoch 0 means strict durability: the record is never
+// downgraded at the crash cut.
+func (j *Journal) EndEpoch(tid, idx int, out, epoch uint64) {
 	rb := j.recBase(tid, idx)
 	cls := (j.r.Load(rb+7) >> 8) & 0xff
 	j.r.DirectStore(rb+6, out)
 	j.r.DirectStore(rb+5, j.clock.Add(1))
-	j.r.DirectStore(rb+7, uint64(recDone)|cls<<8)
+	j.r.DirectStore(rb+7, uint64(recDone)|cls<<8|epoch<<16)
 }
 
 // MarkRecovered durably records the response a recovery pass obtained for an
@@ -212,6 +227,7 @@ func (j *Journal) Records(tid int) []KillRec {
 			Kind: j.r.Load(rb + 0), A0: j.r.Load(rb + 1), A1: j.r.Load(rb + 2),
 			Seq: j.r.Load(rb + 3), Call: j.r.Load(rb + 4), Ret: j.r.Load(rb + 5),
 			Out: j.r.Load(rb + 6), State: int(st & 0xff), Class: int(st >> 8 & 0xff),
+			Epoch: st >> 16,
 		})
 	}
 	return out
@@ -250,4 +266,44 @@ func (j *Journal) Reset() {
 		}
 	}
 	j.r.DirectStore(3, j.Round()+1)
+}
+
+// EpochCut returns the round's crash-cut epoch stamp. stamp is the durable
+// stamp the caller observed at its own reattach, BEFORE performing any epoch
+// close: the first observer of the round records it durably, and every later
+// reattach of the same round gets that first observation back. The pinning
+// matters because recovery itself closes epochs — a recovery pass (possibly
+// a recovery child that is then killed in turn) advances the durable stamp
+// past epochs whose write-backs died with the workload child, and a verifier
+// reading the stamp afterwards would promote those lost completions to
+// closed-epoch ops that must survive. Reset implicitly invalidates the pin by
+// advancing the round counter.
+func (j *Journal) EpochCut(stamp uint64) uint64 {
+	round := j.r.Load(3)
+	if j.r.Load(4) == round+1 {
+		return j.r.Load(5)
+	}
+	// Value before tag: a kill between the two stores leaves the pin absent,
+	// and the next reattach re-records — legal, because the killed process
+	// cannot have closed any epoch yet (EpochCut precedes every close a
+	// recovery pass performs).
+	j.r.DirectStore(5, stamp)
+	j.r.DirectStore(4, round+1)
+	return stamp
+}
+
+// AlignSeqBase realigns thread tid's sequence base of the given class with
+// the structure's durable deactivate parity, after Reset. Strict targets
+// never need this: every consumed sequence number is eventually served with
+// that exact number, so parities stay in step. In epoch mode an operation can
+// consume a number, complete volatile, and vanish with the crash — the
+// journal's base then runs one parity step ahead of the structure, and the
+// next Begin would hand out a number whose low bit equals the durable
+// deactivate bit, which the protocol must treat as already served (silently
+// dropping the operation). Skipping one number restores the alternation.
+func (j *Journal) AlignSeqBase(tid, class int, parity uint64) {
+	base := j.threadBase(tid)
+	if sb := j.r.Load(base + 1 + class); (sb+1)&1 == parity {
+		j.r.DirectStore(base+1+class, sb+1)
+	}
 }

@@ -47,16 +47,17 @@ const (
 
 // killChildSpec is the parent→child work order.
 type killChildSpec struct {
-	Target  string `json:"target"`
-	Path    string `json:"path"`
-	Threads int    `json:"threads"`
-	Ops     int    `json:"ops"`
-	Seed    int64  `json:"seed"`
-	Round   int    `json:"round"`   // campaign round index (rng material)
-	Point   int64  `json:"point"`   // kill at the Point-th persistence event (0 = run to completion)
-	PaceUs  int    `json:"pace_us"` // per-op pacing; >0 also prints READY (timer mode)
-	Recover bool   `json:"recover"` // recovery child: resolve the journal, die at Point
-	Sync    int    `json:"sync"`    // pmem.SyncMode
+	Target   string `json:"target"`
+	Path     string `json:"path"`
+	Threads  int    `json:"threads"`
+	Ops      int    `json:"ops"`
+	Seed     int64  `json:"seed"`
+	Round    int    `json:"round"`               // campaign round index (rng material)
+	Point    int64  `json:"point"`               // kill at the Point-th persistence event (0 = run to completion)
+	PaceUs   int    `json:"pace_us"`             // per-op pacing; >0 also prints READY (timer mode)
+	Recover  bool   `json:"recover"`             // recovery child: resolve the journal, die at Point
+	Sync     int    `json:"sync"`                // pmem.SyncMode
+	EpochSab bool   `json:"epoch_sab,omitempty"` // child-side pmem.SetEpochSabotage (mutation testing)
 }
 
 // KillSpec identifies one round's kill schedule; its Token is the
@@ -106,6 +107,11 @@ type KillConfig struct {
 
 	RecoverKill bool // kill a recovery child mid-recovery on some rounds
 	Sabotage    bool // mutation testing: sabotage the verifier's recovery
+	// EpochSabotage turns on pmem.SetEpochSabotage inside the workload
+	// children: epoch closes advance the durable stamp without persisting the
+	// write-backs, so a SIGKILL loses closed-epoch completions the verifier
+	// is entitled to find — the campaign must fail (mutation testing).
+	EpochSabotage bool
 
 	Sync     pmem.SyncMode
 	Deadline time.Duration // per-child backstop (default 20s)
@@ -229,6 +235,7 @@ func RunKill(cfg KillConfig) (KillReport, *KillFailure) {
 			Target: cfg.Target, Path: cfg.Path,
 			Threads: cfg.Threads, Ops: cfg.Ops,
 			Seed: cfg.Seed, Round: spec.Round, Sync: int(cfg.Sync),
+			EpochSab: cfg.EpochSabotage,
 		}
 		var delay time.Duration
 		if cfg.Timer {
@@ -335,6 +342,9 @@ func killVerify(cfg *KillConfig, def KillTargetDef, carry []uint64, adopt bool) 
 		rr.checked = checked
 	}
 	j.Reset()
+	if a, ok := t.(interface{ AlignSeqs(*Journal) }); ok {
+		a.AlignSeqs(j)
+	}
 	return t.Snapshot(), rr, nil
 }
 
@@ -431,6 +441,9 @@ func KillChildMain() {
 		// Arm before attaching: constructor-time persistence events are kill
 		// candidates too (reattach must be kill-safe at every point).
 		h.SetKillAtEvent(spec.Point, selfKill)
+	}
+	if spec.EpochSab {
+		pmem.SetEpochSabotage(true)
 	}
 	def, ok := LookupKillTarget(spec.Target)
 	if !ok {

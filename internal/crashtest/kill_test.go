@@ -31,6 +31,11 @@ func killTestConfig(t *testing.T, target string) KillConfig {
 		Seed:     0xC0FFEE,
 		Rounds:   10,
 		Deadline: 30 * time.Second,
+		// Epoch histories carry many volatile (vanish-or-linearize) ops, and
+		// the checker's default budget lets a single round burn seconds before
+		// giving a verdict; this cap keeps campaigns fast without costing
+		// verdicts (strict rounds never get near it).
+		DurLin: DurLinOpts{Budget: 200_000},
 	}
 }
 
@@ -162,6 +167,58 @@ func TestKillSabotageCaught(t *testing.T) {
 	}
 }
 
+// TestKillEpochLongCampaign is the epoch mode's headline durability claim
+// made executable: across a long campaign of real SIGKILLs against an
+// epoch-mode queue (group commit, no persistence on the operation path),
+// every round must verify with zero closed-epoch losses — operations whose
+// epoch label is at or below the durable stamp the verifier finds at reopen
+// keep StatusCompleted and MUST survive the kill. Open-epoch completions are
+// free to vanish; that freedom is exactly the bounded loss window. The
+// campaign also kills recovery children mid-recovery, so the parity-gated
+// epoch recovery pass gets re-entered on top of its own partial work.
+func TestKillEpochLongCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "queue/PWFqueue-epoch")
+	cfg.Rounds = 120
+	cfg.RecoverKill = true
+	rep, fail := RunKill(cfg)
+	if err := fail.ErrOrNil(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kills < 50 {
+		t.Fatalf("campaign killed only %d children in %d rounds, want >= 50", rep.Kills, rep.Rounds)
+	}
+	if rep.Checked < rep.Rounds/2 {
+		t.Fatalf("only %d of %d rounds got a verdict", rep.Checked, rep.Rounds)
+	}
+	t.Logf("epoch campaign: %d kills, %d recovery kills, %d ops verified, %d recovered, %d checked",
+		rep.Kills, rep.RecKills, rep.Ops, rep.Recovered, rep.Checked)
+}
+
+// TestKillEpochSabotageCaught is the kill-level twin of the simulated epoch
+// mutation test: with the group-commit bug injected into the children
+// (closes advance the durable stamp without persisting the epoch's
+// write-backs — acknowledging before fsync), a campaign of real SIGKILLs
+// must produce a durable-linearizability violation, because closed-epoch
+// completions the checker refuses to let vanish really are gone.
+func TestKillEpochSabotageCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-kill campaign in -short mode")
+	}
+	cfg := killTestConfig(t, "queue/PBqueue-epoch")
+	cfg.EpochSabotage = true
+	cfg.Rounds = 40
+	rep, fail := RunKill(cfg)
+	if fail == nil {
+		t.Fatalf("sabotaged epoch closes survived %d rounds (%d kills)", rep.Rounds, rep.Kills)
+	}
+	if _, err := ParseKillToken(fail.Spec.Token()); err != nil {
+		t.Fatalf("failure token %q does not parse: %v", fail.Spec.Token(), err)
+	}
+}
+
 func TestParseKillToken(t *testing.T) {
 	spec := KillSpec{Seed: -3, Round: 11, Point: 1729, RecPoint: 42}
 	got, err := ParseKillToken(spec.Token())
@@ -227,6 +284,57 @@ func TestJournalSeqRepair(t *testing.T) {
 	s4, _ := j2.Begin(0, 0, 1, 13, 0)
 	if s4 <= s3 {
 		t.Fatalf("post-reset sequence reused: %d after %d", s4, s3)
+	}
+}
+
+// TestJournalEpochCut pins the crash-cut stamp discipline: the first
+// post-kill observer's stamp wins for the whole round — later reattaches
+// (whose stamp a recovery pass's closes have advanced) get the pinned value
+// back — and Reset invalidates the pin for the next round.
+func TestJournalEpochCut(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	j, err := OpenJournal(h, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.EpochCut(43); got != 43 {
+		t.Fatalf("first observation: EpochCut(43) = %d, want 43", got)
+	}
+	// A recovery child closed epochs and died; the parent reads stamp 45.
+	if got := j.EpochCut(45); got != 43 {
+		t.Fatalf("pinned cut: EpochCut(45) = %d, want 43", got)
+	}
+	j.Reset()
+	if got := j.EpochCut(45); got != 45 {
+		t.Fatalf("after Reset: EpochCut(45) = %d, want 45", got)
+	}
+}
+
+// TestJournalAlignSeqBase pins the epoch-mode sequence realignment: the base
+// is bumped exactly when the next sequence number's low bit would collide
+// with the durable deactivate parity.
+func TestJournalAlignSeqBase(t *testing.T) {
+	h := pmem.NewHeap(pmem.Config{Mode: pmem.ModeShadow, NoCost: true})
+	j, err := OpenJournal(h, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, i1 := j.Begin(0, 0, 1, 10, 0)
+	j.End(0, i1, 7)
+	j.Reset() // repairs the base to s1, the last consumed number
+	// Parity equals the next number's low bit: collision, skip one.
+	j.AlignSeqBase(0, 0, (s1+1)&1)
+	s2, i2 := j.Begin(0, 0, 1, 11, 0)
+	if s2 != s1+2 {
+		t.Fatalf("collision realign: next seq %d after %d, want %d", s2, s1, s1+2)
+	}
+	j.End(0, i2, 7)
+	j.Reset()
+	// Parity differs: no-op.
+	j.AlignSeqBase(0, 0, s2&1)
+	s3, _ := j.Begin(0, 0, 1, 12, 0)
+	if s3 != s2+1 {
+		t.Fatalf("no-op realign: next seq %d after %d, want %d", s3, s2, s2+1)
 	}
 }
 

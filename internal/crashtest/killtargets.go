@@ -45,11 +45,21 @@ type KillTargetDef struct {
 }
 
 // KillTargets returns the process-kill campaign matrix:
-// {PBcomb, PWFcomb} x {queue, map}.
+// {PBcomb, PWFcomb} x {queue, map}, plus the epoch-mode queues. The epoch
+// targets are the harness's sharpest test: on the file-backed heap only
+// closed epochs' write-backs reach the mapped shadow, so a SIGKILL really
+// does lose the open epoch — the verifier must see every closed-epoch
+// completion survive while open-epoch completions are free to vanish.
 func KillTargets() []KillTargetDef {
 	return []KillTargetDef{
 		{"queue/PBqueue", func() KillTarget { return &queueKT{kind: queue.Blocking, name: "queue/PBqueue"} }},
 		{"queue/PWFqueue", func() KillTarget { return &queueKT{kind: queue.WaitFree, name: "queue/PWFqueue"} }},
+		{"queue/PBqueue-epoch", func() KillTarget {
+			return &queueKT{kind: queue.Blocking, epoch: true, name: "queue/PBqueue-epoch"}
+		}},
+		{"queue/PWFqueue-epoch", func() KillTarget {
+			return &queueKT{kind: queue.WaitFree, epoch: true, name: "queue/PWFqueue-epoch"}
+		}},
 		{"map/PBmap", func() KillTarget { return &mapKT{kind: hashmap.Blocking, name: "map/PBmap"} }},
 		{"map/PWFmap", func() KillTarget { return &mapKT{kind: hashmap.WaitFree, name: "map/PWFmap"} }},
 	}
@@ -85,8 +95,12 @@ func killStamps(j *Journal, threads int) int64 {
 
 // killHistory decodes the journal into checker ops. Open records are
 // pending (free to take effect or vanish), recovered records carry their
-// exactly-once response.
-func killHistory(j *Journal, threads int) []lin.Op {
+// exactly-once response. stamp is the durable epoch stamp the verifier found
+// at reopen (0 for strict targets): completed records labeled past it were
+// acknowledged only volatile, so they are downgraded to StatusVolatile —
+// allowed to vanish with the kill, but held to their recorded response if
+// they linearize.
+func killHistory(j *Journal, threads int, stamp uint64) []lin.Op {
 	cut := killStamps(j, threads)
 	var hist []lin.Op
 	for tid := 0; tid < threads; tid++ {
@@ -100,6 +114,9 @@ func killHistory(j *Journal, threads int) []lin.Op {
 				op.Status = lin.StatusCompleted
 				op.Out = rec.Out
 				op.Return = int64(rec.Ret)
+				if rec.Epoch > stamp {
+					op.Status = lin.StatusVolatile
+				}
 			case recRecovered:
 				op.Status = lin.StatusRecovered
 				op.Out = rec.Out
@@ -136,20 +153,38 @@ const (
 )
 
 type queueKT struct {
-	kind queue.Kind
-	name string
-	n    int
-	q    *queue.Queue
+	kind  queue.Kind
+	epoch bool
+	name  string
+	n     int
+	q     *queue.Queue
+
+	// stamp is the durable epoch stamp found at attach — the crash cut for
+	// this process lifetime's verification (epoch targets only).
+	stamp uint64
 }
 
 func (t *queueKT) Name() string { return t.name }
 
 func (t *queueKT) Attach(h *pmem.Heap, n int) {
 	t.n = n
-	t.q = queue.New(h, "kq", n, t.kind, queue.Options{Capacity: killQueueCapacity})
+	t.q = queue.New(h, "kq", n, t.kind,
+		queue.Options{Capacity: killQueueCapacity, Epoch: t.epoch})
+	if t.epoch {
+		// No background ticker (EpochInterval 0): closes happen only at the
+		// explicit Sync calls Step and Resolve issue, so the kill schedule,
+		// not wall-clock timing, decides which epochs close before the kill.
+		t.stamp = t.q.EpochClosed()
+	}
 }
 
 func (t *queueKT) Step(j *Journal, tid, i int, round uint64, rng *rand.Rand) {
+	if t.epoch && rng.Intn(6) == 0 {
+		// Group commit: close the open epoch every ~6 ops per thread. In
+		// epoch mode the workers emit no persistence events at all, so these
+		// closes are also where the event-indexed SIGKILL can land.
+		t.q.Sync()
+	}
 	// Enqueue with probability 7/16: the slight dequeue bias keeps the
 	// residue (and with it the verifier's audit count) drifting toward
 	// empty across rounds instead of growing without bound.
@@ -157,7 +192,7 @@ func (t *queueKT) Step(j *Journal, tid, i int, round uint64, rng *rand.Rand) {
 		v := (round+1)<<32 | uint64(tid)<<24 | uint64(i) + 1
 		seq, idx := j.Begin(tid, killQueueSeqEnq, queue.OpEnq, v, 0)
 		t.q.Enqueue(tid, v, seq)
-		j.End(tid, idx, queue.EnqOK)
+		t.end(j, tid, idx, queue.EnqOK)
 	} else {
 		seq, idx := j.Begin(tid, killQueueSeqDeq, queue.OpDeq, 0, 0)
 		v, ok := t.q.Dequeue(tid, seq)
@@ -165,8 +200,18 @@ func (t *queueKT) Step(j *Journal, tid, i int, round uint64, rng *rand.Rand) {
 		if ok {
 			out = v
 		}
-		j.End(tid, idx, out)
+		t.end(j, tid, idx, out)
 	}
+}
+
+// end journals the response; epoch targets label it with the open epoch read
+// after the operation returned.
+func (t *queueKT) end(j *Journal, tid, idx int, out uint64) {
+	if t.epoch {
+		j.EndEpoch(tid, idx, out, t.q.EpochNow())
+		return
+	}
+	j.End(tid, idx, out)
 }
 
 func (t *queueKT) resolveRec(rec KillRec, tid int) uint64 {
@@ -181,6 +226,17 @@ func (t *queueKT) resolveRec(rec KillRec, tid int) uint64 {
 }
 
 func (t *queueKT) Resolve(j *Journal, tid int) error {
+	if t.epoch {
+		// Pin the crash-cut stamp BEFORE this pass closes any epoch: recovery
+		// itself calls Sync, so a later reattach (the parent after a killed
+		// recovery child) reads a stamp advanced past epochs whose write-backs
+		// died with the workload child. The journal keeps the first post-kill
+		// observation until the round is reset; Verify must judge against that,
+		// not against whatever the stamp says after recovery ran.
+		t.stamp = j.EpochCut(t.stamp)
+		t.resolveEpoch(j, tid)
+		return nil
+	}
 	for _, rec := range j.Records(tid) {
 		switch rec.State {
 		case recOpen:
@@ -200,9 +256,39 @@ func (t *queueKT) Resolve(j *Journal, tid int) error {
 	return nil
 }
 
+// resolveEpoch is the epoch-mode recovery pass. An open record is re-performed
+// only when the durable deactivate parity PROVES the operation never committed
+// (parity gating): a matching parity is ambiguous — the effect may be durable,
+// or may have vanished with the open epoch — so the record stays open and the
+// checker lets it take effect or vanish. Each re-perform is made durable by an
+// epoch close BEFORE the record is marked recovered, so a kill inside this
+// very pass can only leave the record open with the effect durable (pending
+// with effect: legal) or untouched (retried next pass) — never marked with a
+// rolled-back effect. Already-recovered records are left alone: the strict
+// targets' double-recovery comparison would re-run the structure recovery,
+// but after the close the parity reads "served" and re-performing is no
+// longer possible.
+func (t *queueKT) resolveEpoch(j *Journal, tid int) {
+	for _, rec := range j.Records(tid) {
+		if rec.State != recOpen {
+			continue
+		}
+		if rec.Kind == queue.OpEnq {
+			if t.q.EnqDeactParity(tid) == rec.Seq&1 {
+				continue
+			}
+		} else if t.q.DeqDeactParity(tid) == rec.Seq&1 {
+			continue
+		}
+		out := t.resolveRec(rec, tid)
+		t.q.Sync()
+		j.MarkRecovered(tid, rec.Idx, out)
+	}
+}
+
 func (t *queueKT) Verify(j *Journal, initial []uint64, opts DurLinOpts) (bool, error) {
 	opts = durLinDefaults(opts)
-	hist := killHistory(j, t.n)
+	hist := killHistory(j, t.n, t.stamp)
 	residue := t.q.Snapshot()
 	if len(hist)+len(residue)+1 > opts.MaxOps {
 		return false, nil
@@ -218,6 +304,20 @@ func (t *queueKT) Verify(j *Journal, initial []uint64, opts DurLinOpts) (bool, e
 }
 
 func (t *queueKT) Snapshot() []uint64 { return t.q.Snapshot() }
+
+// AlignSeqs (killVerify calls it after the journal reset) realigns both
+// instances' sequence bases with the structure's durable deactivate parities,
+// so sequence numbers consumed by vanished operations cannot make the next
+// round's first operation look already-served. Strict targets never drift.
+func (t *queueKT) AlignSeqs(j *Journal) {
+	if !t.epoch {
+		return
+	}
+	for tid := 0; tid < t.n; tid++ {
+		j.AlignSeqBase(tid, killQueueSeqEnq, t.q.EnqDeactParity(tid))
+		j.AlignSeqBase(tid, killQueueSeqDeq, t.q.DeqDeactParity(tid))
+	}
+}
 
 // ------------------------------------------------------------------ map --
 
@@ -242,10 +342,10 @@ func (t *mapKT) Attach(h *pmem.Heap, n int) {
 }
 
 func (t *mapKT) Step(j *Journal, tid, i int, round uint64, rng *rand.Rand) {
-	key := uint64(tid)<<32 | uint64(rng.Intn(killMapKeys))+1
+	key := uint64(tid)<<32 | uint64(rng.Intn(killMapKeys)) + 1
 	switch rng.Intn(3) {
 	case 0:
-		val := (round+1)<<32 | uint64(i)+1
+		val := (round+1)<<32 | uint64(i) + 1
 		_, idx := j.Begin(tid, 0, hashmap.OpPut, key, val)
 		prev, _ := t.m.Put(tid, key, val)
 		j.End(tid, idx, prev)
@@ -294,7 +394,7 @@ func (t *mapKT) Resolve(j *Journal, tid int) error {
 
 func (t *mapKT) Verify(j *Journal, initial []uint64, opts DurLinOpts) (bool, error) {
 	opts = durLinDefaults(opts)
-	hist := killHistory(j, t.n)
+	hist := killHistory(j, t.n, 0)
 	initVals := map[uint64]uint64{}
 	for i := 0; i+1 < len(initial); i += 2 {
 		initVals[initial[i]] = initial[i+1]

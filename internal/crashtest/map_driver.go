@@ -36,6 +36,15 @@ type mapDriver struct {
 	m *hashmap.Map
 
 	oracle map[uint64]uint64
+	// Epoch mode replaces the exact oracle (unsound once completed ops may
+	// vanish) with the set of values ever written per key: any durably live
+	// value must be one of them. putVals is campaign-lifetime.
+	putVals map[uint64]map[uint64]bool
+
+	// Epoch mode: durably closed epoch at the FIRST post-crash reopen of the
+	// round (recovery closes advance the stamp past lost epochs).
+	crashStamp uint64
+	stampSet   bool
 
 	round         int
 	initVals      map[uint64]uint64
@@ -73,7 +82,8 @@ func NewMapDriverWith(kind hashmap.Kind, opts hashmap.Options, n int, seed int64
 	}
 	return &mapDriver{
 		kind: kind, opts: opts, n: n, seed: seed,
-		oracle: map[uint64]uint64{},
+		oracle:  map[uint64]uint64{},
+		putVals: map[uint64]map[uint64]bool{},
 	}
 }
 
@@ -90,12 +100,19 @@ func (d *mapDriver) Name() string {
 	if d.vec() {
 		base += "-vec"
 	}
+	if d.opts.Epoch {
+		base += "-epoch"
+	}
 	return base
 }
 
 func (d *mapDriver) Open(h *pmem.Heap) {
 	d.m = hashmap.NewWith(h, "fm", d.n, d.kind, d.opts)
 	d.m.SetHistory(d.rec)
+	if d.opts.Epoch && !d.stampSet {
+		d.crashStamp = d.m.EpochClosed()
+		d.stampSet = true
+	}
 	d.durCut()
 }
 
@@ -137,6 +154,7 @@ func (d *mapDriver) BeginRound(round int) {
 	d.resolved = make([]bool, d.n)
 	d.folded = false
 	d.recovered = 0
+	d.stampSet = false
 }
 
 func (d *mapDriver) Step(tid, i int) {
@@ -145,6 +163,11 @@ func (d *mapDriver) Step(tid, i int) {
 		return
 	}
 	r := d.tRngs[tid]
+	if d.opts.Epoch && r.Intn(6) == 0 {
+		// Close epochs from worker threads so crash points land inside the
+		// close pass itself, not just between operations.
+		d.m.Sync()
+	}
 	key := uint64(tid)<<32 | uint64(r.Intn(64)) + 1
 	switch r.Intn(3) {
 	case 0:
@@ -208,6 +231,9 @@ func (d *mapDriver) stepVec(tid, i int) {
 }
 
 func (d *mapDriver) Recover() (int, error) {
+	if d.opts.Epoch {
+		return d.recoverEpoch()
+	}
 	if !d.folded {
 		for tid := 0; tid < d.n; tid++ {
 			for _, c := range d.committed[tid] {
@@ -253,7 +279,84 @@ func (d *mapDriver) Recover() (int, error) {
 	return d.recovered, nil
 }
 
+func (d *mapDriver) notePut(key, val uint64) {
+	s := d.putVals[key]
+	if s == nil {
+		s = map[uint64]bool{}
+		d.putVals[key] = s
+	}
+	s[val] = true
+}
+
+// recoverEpoch resolves the round under epoch-mode semantics via the map's
+// own RecoverEpoch: certain interruptions are re-performed and persisted
+// before their record closes, ambiguous ones are closed untouched (their
+// fate is the history checker's call), and every thread's per-shard sequence
+// counters are realigned past parity collisions with the durable deactivate
+// bits. The exact oracle is unsound here — completed operations of the last
+// open epoch may vanish — so the driver only accumulates the write
+// witnesses Check() and the epoch-aware CheckHistory() need.
+func (d *mapDriver) recoverEpoch() (int, error) {
+	if !d.folded {
+		for tid := 0; tid < d.n; tid++ {
+			for _, c := range d.committed[tid] {
+				if c.op == hashmap.OpPut {
+					d.notePut(c.key, c.val)
+				}
+			}
+		}
+		d.folded = true
+	}
+	for tid := 0; tid < d.n; tid++ {
+		if d.resolved[tid] {
+			continue
+		}
+		if !d.pendActive[tid] {
+			// Nothing in flight, but trailing completions may have vanished:
+			// RecoverEpoch still realigns the thread's sequence counters.
+			d.m.RecoverEpoch(tid)
+			d.resolved[tid] = true
+			continue
+		}
+		op, key, _, pending, certain := d.m.RecoverEpoch(tid)
+		d.resolved[tid] = true
+		d.recovered++
+		if pending && certain {
+			if op != d.pendOp[tid].op || key != d.pendOp[tid].key {
+				return d.recovered, fmt.Errorf("recovered wrong op (%d,%x) want (%d,%x)",
+					op, key, d.pendOp[tid].op, d.pendOp[tid].key)
+			}
+		}
+		// Whether re-performed, ambiguous, or completed-then-interrupted, an
+		// in-flight put may have durably landed its value.
+		if d.pendOp[tid].op == hashmap.OpPut {
+			d.notePut(d.pendOp[tid].key, d.pendOp[tid].val)
+		}
+	}
+	d.m.Sync()
+	return d.recovered, nil
+}
+
+// checkEpoch verifies what conservation still means under a bounded loss
+// window: every durably live value must be one some put actually wrote to
+// that key. Exact last-writer agreement is the epoch-aware history checker's
+// job.
+func (d *mapDriver) checkEpoch() error {
+	var bad error
+	d.m.Range(func(k, v uint64) bool {
+		if !d.putVals[k][v] {
+			bad = fmt.Errorf("live value %x at key %x was never written", v, k)
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
 func (d *mapDriver) Check() error {
+	if d.opts.Epoch {
+		return d.checkEpoch()
+	}
 	// The oracle probes below are real combining Gets; they audit state, they
 	// are not part of the workload. Detach the recorder so their responses
 	// cannot attach to operations a crashed flush left pending (BeginRound
@@ -287,6 +390,9 @@ func (d *mapDriver) Check() error {
 func (d *mapDriver) CheckHistory() (bool, error) {
 	if d.rec == nil {
 		return false, nil
+	}
+	if d.opts.Epoch && d.stampSet {
+		d.rec.MarkVolatileAfter(d.crashStamp)
 	}
 	final := map[uint64]uint64{}
 	d.m.Range(func(k, v uint64) bool {

@@ -46,6 +46,12 @@ func MatrixTargets(n int) []Target {
 				})
 			}
 		}
+		// Epoch-mode relaxed durability (scalar): last-open-epoch completions
+		// may vanish, closed-epoch completions may not.
+		kind := kind
+		add(func(s int64) Driver {
+			return NewQueueDriver(kind, queue.Options{Epoch: true}, n, s)
+		})
 	}
 
 	for _, kind := range []stack.Kind{stack.Blocking, stack.WaitFree} {
@@ -79,6 +85,10 @@ func MatrixTargets(n int) []Target {
 				})
 			}
 		}
+		kind := kind
+		add(func(s int64) Driver {
+			return NewMapDriverWith(kind, hashmap.Options{Shards: 4, Epoch: true}, n, s)
+		})
 	}
 
 	for _, wf := range []bool{false, true} {

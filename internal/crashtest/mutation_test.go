@@ -5,6 +5,7 @@ import (
 
 	"pcomb/internal/core"
 	"pcomb/internal/pmem"
+	"pcomb/internal/queue"
 )
 
 // These mutation tests validate the verification harness itself: a
@@ -65,6 +66,36 @@ func TestSeqParityMisuseIsBenignlyIdempotent(t *testing.T) {
 	c.Invoke(0, core.OpCounterAdd, 1, 0, 2) // same parity: treated as served
 	if got := c.CurrentState().Load(0); got != 2 {
 		t.Fatalf("counter = %d; same-parity reuse must not re-apply", got)
+	}
+}
+
+// TestMutationEpochSabotageIsKilled validates the epoch-aware checker the
+// same way SetRecoverSabotage validates strict recovery: with the close pass
+// sabotaged (the durable stamp advances but the accumulated write-backs are
+// never persisted), operations of "closed" epochs silently lose their
+// effects across a crash. Closed-epoch completions keep StatusCompleted —
+// they may NOT vanish — so the crash-cut checker must kill the mutant. The
+// identical clean campaign must pass.
+func TestMutationEpochSabotageIsKilled(t *testing.T) {
+	mk := func(s int64) Driver {
+		return NewQueueDriver(queue.Blocking, queue.Options{Epoch: true}, 2, s)
+	}
+	cfg := Config{Threads: 2, Ops: 24, Rounds: 6, Seed: 17, DurLin: true}
+	if _, fail := Fuzz(mk, cfg); fail != nil {
+		t.Fatalf("clean control campaign failed: %v", fail.ErrOrNil())
+	}
+	pmem.SetEpochSabotage(true)
+	defer pmem.SetEpochSabotage(false)
+	killed := false
+	for seed := int64(17); seed < 27; seed++ {
+		cfg.Seed = seed
+		if _, fail := Fuzz(mk, cfg); fail != nil {
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		t.Fatal("sabotaged epoch close never detected (mutant survived)")
 	}
 }
 

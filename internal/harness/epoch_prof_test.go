@@ -1,0 +1,32 @@
+package harness
+
+import (
+	"os"
+	"testing"
+
+	"pcomb/internal/hashmap"
+	"pcomb/internal/pmem"
+)
+
+// TestEpochProfilePoint pins one epoch-mode point long enough to profile
+// (go test -cpuprofile). Gated behind PCOMB_EPOCH_PROF so the suite stays
+// fast.
+func TestEpochProfilePoint(t *testing.T) {
+	if os.Getenv("PCOMB_EPOCH_PROF") == "" {
+		t.Skip("set PCOMB_EPOCH_PROF=1 to run the profiling point")
+	}
+	cfg := Config{
+		Ops:     500_000,
+		Threads: []int{16},
+		Persist: pmem.Config{Mode: pmem.ModeCount},
+	}
+	if os.Getenv("PCOMB_EPOCH_PROF") == "strict" {
+		h, op := benchMapPuts(hashmap.Blocking, 32)(cfg, 16)
+		res := measure("PBmap-strict-b32", h, 16, cfg.Ops, op, nil, nil)
+		t.Logf("%s: %.3f Mops, pwbs/op %.2f", res.Algorithm, res.Mops, res.PwbsPerOp)
+		return
+	}
+	res := measureEpochPoint(cfg, hashmap.Blocking, "PBmap-ep1000-b32", 16, 1_000_000, 32)
+	t.Logf("%s: %.3f Mops, resolve-p99 %.0f ns, pwbs/op %.2f, closes %.0f",
+		res.Algorithm, res.Mops, res.Extra["resolve-p99-ns"], res.PwbsPerOp, res.Extra["closes"])
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"pcomb/internal/baselines/ptm"
 	"pcomb/internal/baselines/queues"
@@ -37,6 +38,9 @@ func runSweep(cfg Config, algos []Algo) []Series {
 	for ai, a := range algos {
 		out[ai].Name = a.Name
 		for _, n := range cfg.Threads {
+			// Level the field between points: a point must not pay for the
+			// garbage of the points that happened to run before it.
+			runtime.GC()
 			pcfg := cfg
 			var m *obs.Metrics
 			if cfg.Metrics {

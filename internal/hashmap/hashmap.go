@@ -16,6 +16,7 @@ package hashmap
 
 import (
 	"fmt"
+	"time"
 
 	"pcomb/internal/core"
 	"pcomb/internal/history"
@@ -158,6 +159,8 @@ type Map struct {
 	taken [][]bool
 	tmp   [][]uint64
 
+	epoch *pmem.Epoch // non-nil in epoch-mode relaxed durability
+
 	hist *history.Recorder // optional durable-linearizability recorder
 }
 
@@ -189,6 +192,15 @@ type Options struct {
 	// VecCap operations per shard sub-batch (0 or 1 = scalar only). Part of
 	// the persistent layout — re-open with the same value.
 	VecCap int
+	// Epoch switches the map to epoch-mode relaxed durability: shard rounds
+	// apply and return volatile-fast, one shared epoch closer persists them
+	// in the background, and a crash may lose the last open epoch's
+	// operations (and only those). Use Sync/WaitDurable for per-operation
+	// durability and RecoverEpoch (not Recover) after a crash.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode; 0 = no
+	// ticker, epochs close only via Sync/CloseNow).
+	EpochInterval time.Duration
 }
 
 // New creates (or re-opens after a crash) a recoverable hash map for n
@@ -238,7 +250,44 @@ func NewWith(h *pmem.Heap, name string, n int, kind Kind, o Options) *Map {
 			m.tmp[i] = make([]uint64, o.VecCap)
 		}
 	}
+	if o.Epoch {
+		// Attach after construction so shard boot persistence stays strict;
+		// all shards defer into one shared buffer, so one close covers the
+		// whole map.
+		m.epoch = pmem.NewEpoch(h, name, pmem.EpochOpts{Interval: o.EpochInterval})
+		for _, sh := range m.shards {
+			sh.(core.EpochCapable).AttachEpoch(m.epoch)
+		}
+	}
 	return m
+}
+
+// Epoch returns the map's epoch state (nil unless Options.Epoch).
+func (m *Map) Epoch() *pmem.Epoch { return m.epoch }
+
+// EpochNow returns the open epoch (the label of operations returning now).
+func (m *Map) EpochNow() uint64 { return m.epoch.Now() }
+
+// EpochClosed returns the last durably closed epoch.
+func (m *Map) EpochClosed() uint64 { return m.epoch.Closed() }
+
+// Sync forces an epoch close: everything applied before the call is durable
+// when it returns. No-op in strict mode.
+func (m *Map) Sync() {
+	if m.epoch != nil {
+		m.epoch.CloseNow()
+	}
+}
+
+// WaitDurable blocks until epoch target is durably closed (false if the
+// heap crashed first).
+func (m *Map) WaitDurable(target uint64) bool { return m.epoch.Wait(target) }
+
+// StopEpoch halts the background closer (if any) after a final close.
+func (m *Map) StopEpoch() {
+	if m.epoch != nil {
+		m.epoch.Stop()
+	}
 }
 
 // SetCombTracker installs combining-level instrumentation on every shard's
@@ -279,7 +328,12 @@ func (m *Map) ShardOf(key uint64) int { return m.shardOf(key) }
 // SetHistory installs (or removes, with nil) a durable-linearizability
 // history recorder on the scalar, batched, and recovery paths. Install while
 // quiescent.
-func (m *Map) SetHistory(h *history.Recorder) { m.hist = h }
+func (m *Map) SetHistory(h *history.Recorder) {
+	if h != nil && m.epoch != nil {
+		h.SetEpochClock(m.epoch.Now)
+	}
+	m.hist = h
+}
 
 // invoke records the op in the system area, draws the shard-local sequence
 // number, runs the op, and marks it done.
@@ -364,6 +418,82 @@ func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 		h.Resolve(tid, result)
 	}
 	return op, key, result, true
+}
+
+// RecoverEpoch is Recover under epoch-mode semantics. The in-flight record
+// may belong to an epoch that vanished at the crash, and the deactivate
+// parity scheme cannot always tell "this op was durably served" from "an
+// earlier op with the same parity was" — fetching the return slot in that
+// ambiguous case would hand back a stale response. So:
+//
+//   - parity differs from the in-flight seq's low bit: the op certainly did
+//     not commit durably; it is re-performed and (op,key,result,true,true)
+//     returned.
+//   - parity matches: ambiguous — durably served, or vanished along with an
+//     odd run of later completions. The record is closed WITHOUT touching
+//     the protocol (the durable state is consistent either way; the checker
+//     treats the op as free to take effect or vanish) and certain=false.
+//
+// Either way the per-shard sequence counters are realigned so the next
+// invocation's parity differs from the durable deactivate bit (vanished
+// completions consumed counter values the durable state never saw). Call
+// RecoverEpoch for every thread after reopening an epoch-mode map, then
+// Sync() before trusting the recovered state durable.
+func (m *Map) RecoverEpoch(tid int) (op, key, result uint64, pending, certain bool) {
+	base := tid * m.stride
+	if m.sys.Load(base+m.nsh+sysOp) == 0 || m.sys.Load(base+m.nsh+sysDone) == 1 {
+		m.realignSeqs(tid)
+		return 0, 0, 0, false, false
+	}
+	op = m.sys.Load(base + m.nsh + sysOp)
+	sh := int(m.sys.Load(base + m.nsh + sysShard))
+	seq := m.sys.Load(base + m.nsh + sysSeq)
+	parity := m.shards[sh].(core.EpochCapable).DeactParity(tid)
+	if parity == seq&1 {
+		// Ambiguous: leave the operation's fate to the checker.
+		m.sys.DirectStore(base+m.nsh+sysDone, 1)
+		key = m.sys.Load(base + m.nsh + sysKey)
+		m.realignSeqs(tid)
+		return op, key, 0, true, false
+	}
+	if op&sysVecMark != 0 {
+		ops, _ := m.RecoverBatch(tid)
+		m.epoch.CloseNow()
+		m.realignSeqs(tid)
+		return op, 0, uint64(len(ops)), true, true
+	}
+	key = m.sys.Load(base + m.nsh + sysKey)
+	val := m.sys.Load(base + m.nsh + sysVal)
+	result = m.shards[sh].Recover(tid, op, key, val, seq)
+	// Persist the re-performed effect before the record closes and the
+	// history resolves: a nested crash inside the close retries with the
+	// record still open (the re-performance was rolled back with everything
+	// else), so no resolution is ever lost or doubled. Realignment is skipped
+	// on that panic path deliberately — it writes durable words and must not
+	// run against mid-crash state.
+	m.epoch.CloseNow()
+	m.sys.DirectStore(base+m.nsh+sysDone, 1)
+	if h := m.hist; h != nil {
+		h.Resolve(tid, result)
+	}
+	m.realignSeqs(tid)
+	return op, key, result, true, true
+}
+
+// realignSeqs bumps tid's per-shard sequence counters past parity
+// collisions with the durable deactivate bits (epoch mode only; the skipped
+// numbers are harmless — the protocols only consume the low bit).
+func (m *Map) realignSeqs(tid int) {
+	if m.epoch == nil {
+		return
+	}
+	base := tid * m.stride
+	for sh, inst := range m.shards {
+		parity := inst.(core.EpochCapable).DeactParity(tid)
+		if cnt := m.sys.Load(base + sh); (cnt+1)&1 == parity {
+			m.sys.DirectStore(base+sh, cnt+1)
+		}
+	}
 }
 
 // RecOp is one operation of a recovered sub-batch.

@@ -31,7 +31,16 @@ type Recorder struct {
 	clock atomic.Int64
 	cut   atomic.Int64 // logical time of the (first) crash cut; 0 = none yet
 	logs  []threadLog
+
+	// epochClock, when set, labels each completed operation with the open
+	// epoch at response time (epoch-mode relaxed durability). Read AFTER the
+	// response so the label lower-bounds the close that persists the op.
+	epochClock func() uint64
 }
+
+// SetEpochClock installs the epoch labeler (pmem.Epoch.Now). Install while
+// quiescent, before recording.
+func (r *Recorder) SetEpochClock(clock func() uint64) { r.epochClock = clock }
 
 // threadLog is one thread's append-only event log. done counts operations
 // whose fate is settled (completed or recovered); ops[done:] are pending.
@@ -73,7 +82,29 @@ func (r *Recorder) End(tid int, out uint64) {
 	op.Return = r.clock.Add(1)
 	op.Out = out
 	op.Status = lin.StatusCompleted
+	if r.epochClock != nil {
+		op.Epoch = r.epochClock()
+	}
 	l.done++
+}
+
+// MarkVolatileAfter downgrades every completed operation labeled with an
+// epoch beyond the durably closed stamp to StatusVolatile: the checker then
+// lets it keep its effect or vanish, the epoch mode's bounded loss window.
+// Operations with label 0 (recorded before an epoch clock was installed)
+// are never downgraded. Call from the single-threaded recovery phase, with
+// the stamp the FIRST post-crash reopen observed — recovery's own closes
+// advance the stamp past epochs whose buffered write-backs died with the
+// crash.
+func (r *Recorder) MarkVolatileAfter(stamp uint64) {
+	for t := range r.logs {
+		ops := r.logs[t].ops
+		for i := range ops {
+			if ops[i].Status == lin.StatusCompleted && ops[i].Epoch > stamp {
+				ops[i].Status = lin.StatusVolatile
+			}
+		}
+	}
 }
 
 // Cut stamps the crash-cut marker (idempotent — only the first crash of a

@@ -145,7 +145,7 @@ func checkOne(m Model, history []Op, budget *int64) Result {
 		if op.Call > maxTS {
 			maxTS = op.Call
 		}
-		if op.Status == StatusCompleted && op.Return > maxTS {
+		if (op.Status == StatusCompleted || op.Status == StatusVolatile) && op.Return > maxTS {
 			maxTS = op.Return
 		}
 	}
@@ -219,8 +219,11 @@ func checkOne(m Model, history []Op, budget *int64) Result {
 			if exhausted {
 				return false
 			}
-			// A pending op may also vanish: drop it with no state change.
-			if ops[i].Status == StatusPending && dfs(sub, left-1, state) {
+			// A pending op may also vanish: drop it with no state change. So
+			// may a volatile one (completed inside an epoch that never
+			// durably closed) — but unlike pending ops, when it does
+			// linearize its recorded output already constrained Step above.
+			if (ops[i].Status == StatusPending || ops[i].Status == StatusVolatile) && dfs(sub, left-1, state) {
 				return true
 			}
 			if exhausted {

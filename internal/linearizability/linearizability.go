@@ -31,6 +31,13 @@ const (
 	// ops linearize after all real ops, in slice order, validating that the
 	// final durable state is the model state some legal cut produces.
 	StatusAudit
+	// StatusVolatile: the response was observed before the crash but the
+	// operation belongs to an epoch that never durably closed (epoch-mode
+	// relaxed durability). The op may linearize within [Call, Return] with
+	// its recorded output — or vanish entirely, exactly the bounded loss
+	// window the mode advertises. Completed ops of closed epochs must NOT
+	// carry this status: they keep StatusCompleted and may never vanish.
+	StatusVolatile
 )
 
 // Op is one operation of a recorded history. Call and Return are logical
@@ -47,6 +54,11 @@ type Op struct {
 	Arg2   uint64 // second argument (map value, register value); 0 if unused
 	Out    uint64
 	Status Status
+	// Epoch is the operation's epoch label under epoch-mode relaxed
+	// durability (0 = strict mode). history.Recorder.MarkVolatileAfter uses
+	// it to downgrade completed ops of never-closed epochs to
+	// StatusVolatile.
+	Epoch uint64
 }
 
 // Model is a sequential specification. States must be encodable to a

@@ -43,10 +43,24 @@ type Ctx struct {
 
 	sink uint64 // spin-cost accumulator; defeats dead-code elimination
 
+	// ebuf, when non-nil, switches the context to epoch-mode relaxed
+	// durability: PWB/PFence/PSync defer into the buffer (and return
+	// volatile-fast, uncharged and uncounted — the epoch closer replays and
+	// accounts for them) instead of executing on this thread.
+	ebuf *EpochBuf
+	// epending buffers count-mode deferred line ranges ctx-locally between
+	// fences, so the shared buffer takes one lock per fence instead of one
+	// per PWB. An operation never returns before its round's fence/psync, so
+	// everything a completed operation wrote is merged by return time.
+	epending []epochRange
+
 	tracing    bool
 	trace      []TraceEvent
 	traceStart time.Time
 }
+
+// SetEpochBuf attaches (or with nil detaches) an epoch deferral buffer.
+func (c *Ctx) SetEpochBuf(b *EpochBuf) { c.ebuf = b }
 
 // ID returns the context's index within its heap (stable track id for
 // trace export).
@@ -110,6 +124,14 @@ func (c *Ctx) CrashPoint() {
 	if c.h.cfg.Mode == ModeVolatile {
 		return
 	}
+	if c.ebuf != nil {
+		// Epoch mode: no per-instruction crash scheduling on the fast path,
+		// but a crashed heap must still halt the spinning protocols.
+		if c.h.crashedFlag.Load() {
+			panic(CrashError{})
+		}
+		return
+	}
 	c.event()
 }
 
@@ -118,6 +140,22 @@ func (c *Ctx) CrashPoint() {
 // happens at the next PSync (or at a crash, subject to the adversary).
 func (c *Ctx) PWB(r *Region, off, n int) {
 	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	if c.ebuf != nil {
+		if c.h.crashedFlag.Load() {
+			panic(CrashError{})
+		}
+		if c.h.cfg.PwbOff {
+			return
+		}
+		if lo, hi := lineRange(off, n); hi >= lo {
+			if c.ebuf.count {
+				c.epending = append(c.epending, epochRange{r, lo, hi})
+			} else {
+				c.ebuf.capture(r, lo, hi)
+			}
+		}
 		return
 	}
 	c.event()
@@ -154,6 +192,17 @@ func (c *Ctx) PFence() {
 	if c.h.cfg.Mode == ModeVolatile {
 		return
 	}
+	if c.ebuf != nil {
+		if c.h.crashedFlag.Load() {
+			panic(CrashError{})
+		}
+		if c.ebuf.count {
+			c.mergeEpochRanges()
+		} else {
+			c.ebuf.mark(epFence)
+		}
+		return
+	}
 	c.event()
 	c.pfences++
 	if c.tracing {
@@ -173,6 +222,17 @@ func (c *Ctx) PFence() {
 // PSync blocks until every PWB previously issued on this context is durable.
 func (c *Ctx) PSync() {
 	if c.h.cfg.Mode == ModeVolatile {
+		return
+	}
+	if c.ebuf != nil {
+		if c.h.crashedFlag.Load() {
+			panic(CrashError{})
+		}
+		if c.ebuf.count {
+			c.mergeEpochRanges()
+		} else {
+			c.ebuf.mark(epPsync)
+		}
 		return
 	}
 	c.event()

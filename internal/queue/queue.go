@@ -18,6 +18,7 @@ package queue
 
 import (
 	"sync/atomic"
+	"time"
 
 	"pcomb/internal/core"
 	"pcomb/internal/history"
@@ -68,6 +69,15 @@ type Options struct {
 	// (0 or 1 = scalar only). Part of the persistent layout — re-open with
 	// the same value.
 	VecCap int
+	// Epoch switches the queue to epoch-mode relaxed durability: combiner
+	// rounds apply and return volatile-fast, a shared epoch closer makes
+	// them durable in the background, and a crash may lose the operations
+	// of the last open epoch (and only those). Use Sync/WaitDurable for
+	// per-operation durability.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode; 0 = no
+	// ticker, epochs close only via Sync/CloseNow).
+	EpochInterval time.Duration
 }
 
 const (
@@ -86,6 +96,8 @@ type Queue struct {
 	deq core.Protocol
 
 	oldTail atomic.Uint64 // PBqueue: last node safe for dequeuers (volatile)
+
+	epoch *pmem.Epoch // non-nil in epoch-mode relaxed durability
 
 	hist *history.Recorder // optional durable-linearizability recorder
 }
@@ -159,7 +171,72 @@ func New(h *pmem.Heap, name string, n int, kind Kind, opt Options) *Queue {
 	// After a restart only durable nodes exist, so the durable tail bounds
 	// what dequeuers may remove.
 	q.oldTail.Store(q.tailForDequeuers())
+
+	if opt.Epoch {
+		// A crash can leave node linkage persisted PAST the durable tail: an
+		// epoch that never closed spliced its nodes (the line write-backs
+		// landed under a partial close) while the combiner record holding the
+		// advanced tail vanished. Strict mode never faces this — the
+		// interrupted operation is re-performed and overwrites the link — but
+		// in epoch mode the operation completed volatile, so nothing repairs
+		// it, and the next enqueue round would silently orphan the suffix
+		// after Snapshot/recovery already saw it. Sever it now: a closed
+		// epoch's stamp implies its tail state is durable, so anything past
+		// the durable tail belongs to operations that are free to vanish.
+		if tail := q.tailForDequeuers(); q.p.Load(tail, 1) != pool.Nil {
+			q.p.Store(tail, 1, pool.Nil)
+			bootCtx.PWB(q.p.Region(), q.p.Offset(tail), nodeWords)
+			bootCtx.PFence()
+		}
+		// Attach after construction so boot-time persistence stays strict;
+		// both instances defer into one shared buffer, so a single close
+		// covers every round of the whole queue.
+		q.epoch = pmem.NewEpoch(h, name, pmem.EpochOpts{Interval: opt.EpochInterval})
+		q.enq.(core.EpochCapable).AttachEpoch(q.epoch)
+		q.deq.(core.EpochCapable).AttachEpoch(q.epoch)
+	}
 	return q
+}
+
+// Epoch returns the queue's epoch state (nil unless Options.Epoch).
+func (q *Queue) Epoch() *pmem.Epoch { return q.epoch }
+
+// EpochNow returns the open epoch (the label of operations returning now).
+func (q *Queue) EpochNow() uint64 { return q.epoch.Now() }
+
+// EpochClosed returns the last durably closed epoch.
+func (q *Queue) EpochClosed() uint64 { return q.epoch.Closed() }
+
+// Sync forces an epoch close: everything applied before the call is durable
+// when it returns. No-op in strict mode (every round is already durable).
+func (q *Queue) Sync() {
+	if q.epoch != nil {
+		q.epoch.CloseNow()
+	}
+}
+
+// WaitDurable blocks until epoch target is durably closed (false if the
+// heap crashed first). Target is an EpochNow label read after the operation
+// to wait for.
+func (q *Queue) WaitDurable(target uint64) bool { return q.epoch.Wait(target) }
+
+// StopEpoch halts the background closer (if any) after a final close.
+func (q *Queue) StopEpoch() {
+	if q.epoch != nil {
+		q.epoch.Stop()
+	}
+}
+
+// EnqDeactParity returns tid's durable deactivate bit on the enqueue
+// instance (epoch-aware recovery: a parity differing from the in-flight
+// seq's low bit proves the operation did not commit durably).
+func (q *Queue) EnqDeactParity(tid int) uint64 {
+	return q.enq.(core.EpochCapable).DeactParity(tid)
+}
+
+// DeqDeactParity is EnqDeactParity for the dequeue instance.
+func (q *Queue) DeqDeactParity(tid int) uint64 {
+	return q.deq.(core.EpochCapable).DeactParity(tid)
 }
 
 // tailForDequeuers returns the last node dequeue combiners may consume
@@ -228,7 +305,12 @@ func (q *Queue) RecoverDequeue(tid int, seq uint64) (uint64, bool) {
 // history recorder. Enqueue/Dequeue then record invocation/response events
 // and RecoverEnqueue/RecoverDequeue resolve the interrupted operation with
 // the recovered response. Install while quiescent.
-func (q *Queue) SetHistory(h *history.Recorder) { q.hist = h }
+func (q *Queue) SetHistory(h *history.Recorder) {
+	if h != nil && q.epoch != nil {
+		h.SetEpochClock(q.epoch.Now)
+	}
+	q.hist = h
+}
 
 // SetCombTracker installs combining-level instrumentation on both the
 // enqueue and dequeue combining instances (they share one sink, so reported

@@ -1,6 +1,10 @@
 package pcomb
 
-import "pcomb/internal/hashmap"
+import (
+	"time"
+
+	"pcomb/internal/hashmap"
+)
 
 // Map is a detectably recoverable concurrent hash map built from multiple
 // combining instances (one per shard) — the sharded-combining construction
@@ -23,6 +27,17 @@ type MapOptions struct {
 	// operations per announcement (0 or 1 = blocking API only). Part of the
 	// persistent layout — re-open with the same value.
 	VecCap int
+	// Epoch switches the map to epoch-mode relaxed durability (group
+	// commit): operations apply and return without persistence instructions
+	// on their critical path, one shared background closer makes whole
+	// epochs durable at once, and a crash may lose the operations of the
+	// last open epoch — and only those. Use Sync/WaitDurable for
+	// per-operation durability and RecoverEpoch (not Recover) after a
+	// crash. Part of the persistent layout — re-open with the same value.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode; 0 = no
+	// ticker, epochs close only via Sync).
+	EpochInterval time.Duration
 }
 
 // NewMap creates — or, after Crash, re-opens — a recoverable hash map.
@@ -36,10 +51,12 @@ func (s *System) NewMap(name string, threads int, kind Kind, opts ...MapOptions)
 		k = hashmap.WaitFree
 	}
 	return &Map{m: hashmap.NewWith(s.heap, name, threads, k, hashmap.Options{
-		Shards:   o.Shards,
-		Capacity: o.Capacity,
-		Dense:    o.Dense,
-		VecCap:   o.VecCap,
+		Shards:        o.Shards,
+		Capacity:      o.Capacity,
+		Dense:         o.Dense,
+		VecCap:        o.VecCap,
+		Epoch:         o.Epoch,
+		EpochInterval: o.EpochInterval,
 	})}
 }
 
@@ -58,6 +75,35 @@ func (m *Map) Delete(tid int, key uint64) (uint64, bool) { return m.m.Delete(tid
 // Recover resolves thread tid's interrupted operation exactly once.
 func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	return m.m.Recover(tid)
+}
+
+// Sync forces an epoch close: everything applied before the call is durable
+// when it returns. No-op in strict mode.
+func (m *Map) Sync() { m.m.Sync() }
+
+// EpochNow returns the open epoch — the durability label of operations
+// returning now (Epoch mode only). Pass a label read after an operation
+// returned to WaitDurable to block until that operation is durable.
+func (m *Map) EpochNow() uint64 { return m.m.EpochNow() }
+
+// EpochClosed returns the last durably closed epoch (Epoch mode only).
+func (m *Map) EpochClosed() uint64 { return m.m.EpochClosed() }
+
+// WaitDurable blocks until epoch target is durably closed; it returns false
+// if the system crashed first (Epoch mode only).
+func (m *Map) WaitDurable(target uint64) bool { return m.m.WaitDurable(target) }
+
+// StopEpoch halts the background closer (if any) after a final close.
+func (m *Map) StopEpoch() { m.m.StopEpoch() }
+
+// RecoverEpoch is Recover under epoch-mode semantics: an operation the
+// durable deactivate parity PROVES unserved is re-performed and reported
+// with certain=true; an ambiguous one (durably served, or vanished with the
+// open epoch) is closed untouched with certain=false — the caller must
+// treat it as either applied or lost, like any other open-epoch operation.
+// Call RecoverEpoch for every thread after re-opening an epoch-mode map.
+func (m *Map) RecoverEpoch(tid int) (op, key, result uint64, pending, certain bool) {
+	return m.m.RecoverEpoch(tid)
 }
 
 // SubmitPut stages a Put on the async pipelined path (requires

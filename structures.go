@@ -1,6 +1,8 @@
 package pcomb
 
 import (
+	"time"
+
 	"pcomb/internal/core"
 	"pcomb/internal/heap"
 	"pcomb/internal/history"
@@ -35,6 +37,17 @@ type QueueOptions struct {
 	// operations per announcement (0 or 1 = blocking API only). Part of the
 	// persistent layout — re-open with the same value.
 	VecCap int
+	// Epoch switches the queue to epoch-mode relaxed durability (group
+	// commit): operations apply and return without touching the persistence
+	// instructions on their critical path, a background closer makes whole
+	// epochs durable at once, and a crash may lose the operations of the
+	// last open epoch — and only those. Use Sync/WaitDurable for
+	// per-operation durability and RecoverEpoch (not Recover) after a
+	// crash. Part of the persistent layout — re-open with the same value.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode; 0 = no
+	// ticker, epochs close only via Sync).
+	EpochInterval time.Duration
 }
 
 // NewQueue creates — or, after Crash, re-opens — a recoverable queue for
@@ -46,9 +59,11 @@ func (s *System) NewQueue(name string, threads int, kind Kind, opts ...QueueOpti
 	}
 	q := &Queue{
 		q: queue.New(s.heap, name, threads, kindQueue(kind), queue.Options{
-			Recycling: kind == Blocking && !o.NoRecycling,
-			Capacity:  o.Capacity,
-			VecCap:    o.VecCap,
+			Recycling:     kind == Blocking && !o.NoRecycling,
+			Capacity:      o.Capacity,
+			VecCap:        o.VecCap,
+			Epoch:         o.Epoch,
+			EpochInterval: o.EpochInterval,
 		}),
 		sys: newSysArea(s.heap, name, threads),
 	}
@@ -99,6 +114,103 @@ func (q *Queue) Recover(tid int) (op Op, result uint64, pending bool) {
 	}
 	q.sys.end(tid)
 	return Op(opc), result, true
+}
+
+// Sync forces an epoch close: everything applied before the call is durable
+// when it returns. No-op in strict mode (every operation is already durable
+// when it returns).
+func (q *Queue) Sync() { q.q.Sync() }
+
+// EpochNow returns the open epoch — the durability label of operations
+// returning now (Epoch mode only). Pass a label read after an operation
+// returned to WaitDurable to block until that operation is durable.
+func (q *Queue) EpochNow() uint64 { return q.q.EpochNow() }
+
+// EpochClosed returns the last durably closed epoch (Epoch mode only).
+func (q *Queue) EpochClosed() uint64 { return q.q.EpochClosed() }
+
+// WaitDurable blocks until epoch target is durably closed; it returns false
+// if the system crashed first (Epoch mode only).
+func (q *Queue) WaitDurable(target uint64) bool { return q.q.WaitDurable(target) }
+
+// StopEpoch halts the background closer (if any) after a final close.
+func (q *Queue) StopEpoch() { q.q.StopEpoch() }
+
+// RecoverEpoch is Recover under epoch-mode semantics. The interrupted
+// operation may belong to an epoch that vanished at the crash, and the
+// protocols' deactivate-parity scheme cannot always tell "this op was
+// durably served" from "an earlier op with the same parity was" — fetching
+// the return slot in that ambiguous case would hand back a stale response.
+// So:
+//
+//   - the durable parity differs from the in-flight seq's low bit: the op
+//     certainly did not commit durably; it is re-performed, made durable,
+//     and reported with certain=true.
+//   - the parity matches: ambiguous — durably served, or vanished along
+//     with an odd run of later completions. The record is closed without
+//     touching the structure (its durable state is consistent either way)
+//     and certain=false: the caller must treat the op as either applied or
+//     lost, like any other open-epoch operation.
+//
+// Either way the sequence counters are realigned past parity collisions
+// left by vanished completions. Call RecoverEpoch for every thread after
+// re-opening an epoch-mode queue.
+func (q *Queue) RecoverEpoch(tid int) (op Op, result uint64, pending, certain bool) {
+	opc, a0, _, seq, ok := q.sys.pending(tid)
+	if !ok {
+		q.realignSeqs(tid)
+		return OpNone, 0, false, false
+	}
+	var parity uint64
+	if opc == uint64(OpEnqueue) || opc&vecMark != 0 && opc&^vecMark == 0 {
+		parity = q.q.EnqDeactParity(tid)
+	} else {
+		parity = q.q.DeqDeactParity(tid)
+	}
+	if parity == seq&1 {
+		q.sys.end(tid)
+		q.realignSeqs(tid)
+		if opc&vecMark != 0 {
+			return OpBatch, a0, true, false
+		}
+		return Op(opc), 0, true, false
+	}
+	if opc&vecMark != 0 {
+		ops, _ := q.RecoverBatch(tid)
+		q.q.Sync()
+		q.realignSeqs(tid)
+		return OpBatch, uint64(len(ops)), true, true
+	}
+	switch Op(opc) {
+	case OpEnqueue:
+		result = q.q.RecoverEnqueue(tid, a0, seq)
+	case OpDequeue:
+		if v, got := q.q.RecoverDequeue(tid, seq); got {
+			result = v
+		} else {
+			result = queue.Empty
+		}
+	}
+	// Persist the re-performed effect before the record closes: a crash
+	// inside the close retries with the record still open, so no resolution
+	// is lost or doubled.
+	q.q.Sync()
+	q.sys.end(tid)
+	q.realignSeqs(tid)
+	return Op(opc), result, true, true
+}
+
+// realignSeqs bumps tid's sequence counters past parity collisions with the
+// durable deactivate bits (epoch mode only): completions that vanished with
+// an open epoch consumed counter values the durable state never saw, and
+// the protocols' parity checks only work when the next sequence number's
+// low bit differs from the durable deactivate bit.
+func (q *Queue) realignSeqs(tid int) {
+	if q.q.Epoch() == nil {
+		return
+	}
+	q.sys.realign(tid, 0, q.q.EnqDeactParity(tid))
+	q.sys.realign(tid, 1, q.q.DeqDeactParity(tid))
 }
 
 // Snapshot returns the queue contents head-to-tail (quiescent use only).

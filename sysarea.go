@@ -58,6 +58,18 @@ func (sa *sysArea) end(tid int) {
 	sa.r.DirectStore(sa.base(tid)+saDone, 1)
 }
 
+// realign bumps tid's class counter when the NEXT sequence number's low bit
+// would collide with the structure's durable deactivate parity — the
+// epoch-mode repair for completions that vanished with an open epoch after
+// consuming counter values the durable state never saw. Skipped numbers are
+// harmless; the protocols only consume the low bit.
+func (sa *sysArea) realign(tid, class int, parity uint64) {
+	b := sa.base(tid)
+	if cnt := sa.r.Load(b + saSeqA + class); (cnt+1)&1 == parity {
+		sa.r.DirectStore(b+saSeqA+class, cnt+1)
+	}
+}
+
 // pending reports the interrupted op of tid, if any.
 func (sa *sysArea) pending(tid int) (op, a0, a1, seq uint64, ok bool) {
 	b := sa.base(tid)
