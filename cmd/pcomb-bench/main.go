@@ -36,12 +36,14 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba ep all, or tail (open-loop)")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba ep sh all, or tail (open-loop)")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
 		batches  = flag.String("batch", "1,8,32", "comma-separated batch sizes for -figure ba (1 = scalar baseline)")
 		epochUs  = flag.String("epoch-us", "200,1000,2000", "comma-separated epoch close cadences (µs) for -figure ep")
+		shardsIn = flag.String("shards", "1,2,4,8", "comma-separated fabric shard counts for -figure sh")
+		skews    = flag.String("skew", "0,0.99", "comma-separated zipfian exponents for -figure sh (0 = uniform)")
 		t1n      = flag.Int("t1-threads", 128, "thread count for Table 1")
 		pwbNs    = flag.Int("pwb-ns", pmem.DefaultPwbNs, "simulated pwb cost (ns)")
 		pfenceNs = flag.Int("pfence-ns", pmem.DefaultPfenceNs, "simulated pfence cost (ns)")
@@ -97,6 +99,24 @@ func main() {
 			os.Exit(2)
 		}
 		epochList = append(epochList, d)
+	}
+	var shardList []int
+	for _, part := range strings.Split(*shardsIn, ",") {
+		s, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || s <= 0 {
+			fmt.Fprintf(os.Stderr, "bad shard count %q\n", part)
+			os.Exit(2)
+		}
+		shardList = append(shardList, s)
+	}
+	var skewList []float64
+	for _, part := range strings.Split(*skews, ",") {
+		s, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || s < 0 {
+			fmt.Fprintf(os.Stderr, "bad skew %q\n", part)
+			os.Exit(2)
+		}
+		skewList = append(skewList, s)
 	}
 	var rateList []float64
 	for _, part := range strings.Split(*rates, ",") {
@@ -322,6 +342,13 @@ func main() {
 				harness.PrintSeries(os.Stdout, "Extensions ep: vs strict persistence work", "pwbs/op", series)
 			}
 		},
+		"sh": func() {
+			series := harness.FigShard(cfg, shardList, skewList)
+			emit("Extensions sh: sharded fabric, hierarchical vs flat routing", "Mops/s", series)
+			if *format == "table" && *metrics {
+				harness.PrintSeries(os.Stdout, "Extensions sh: combining degree", "comb-degree-mean", series)
+			}
+		},
 		"tail": func() {
 			// The open-loop figure needs the latency histograms for the
 			// response/queueing/service split regardless of -metrics.
@@ -338,7 +365,7 @@ func main() {
 		},
 	}
 
-	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba", "ep"}
+	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba", "ep", "sh"}
 	do := func(f string) {
 		curFig = f // tags the JSONL records emitted while this figure runs
 		runs[f]()

@@ -43,6 +43,7 @@ import (
 
 	"pcomb/internal/core"
 	"pcomb/internal/crashtest"
+	"pcomb/internal/fabric"
 	"pcomb/internal/hashmap"
 	"pcomb/internal/heap"
 	"pcomb/internal/obs"
@@ -186,6 +187,14 @@ func matrixVariants() []target {
 			return func(s int64) crashtest.Driver {
 				return crashtest.NewMapDriverWith(kind, hashmap.Options{Shards: 8, Epoch: true}, n, s)
 			}
+		})
+	}
+	// Sharded combining fabric: scalar ops plus cross-shard TransferAdd/PutAll
+	// transactions, with per-key history checking and a conservation audit.
+	for _, kind := range []fabric.Kind{fabric.Blocking, fabric.WaitFree} {
+		kind := kind
+		add(func(n int) func(int64) crashtest.Driver {
+			return func(s int64) crashtest.Driver { return crashtest.NewFabricDriver(kind, n, s) }
 		})
 	}
 	return out

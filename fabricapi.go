@@ -1,0 +1,150 @@
+package pcomb
+
+import (
+	"time"
+
+	"pcomb/internal/fabric"
+)
+
+// ShardedMap is the sharded combining fabric: N independent recoverable
+// combining shards behind a consistent-hash router, with hierarchical
+// combining (per-shard combiner goroutines batch many threads' requests into
+// one delegated announcement) and atomic cross-shard transactions
+// (TransferAdd / PutAll / Txn). Keys must be in [1, 2^64-3].
+//
+// Compared to Map, ShardedMap adds the Fabric dimension: per-shard combining
+// degree stays high even when each shard sees only mild per-thread
+// concurrency, because one goroutine concentrates the whole fabric's traffic
+// for that shard into single combining rounds.
+type ShardedMap struct {
+	f *fabric.Map
+}
+
+// ShardedMapOptions tunes a fabric instance; the zero value is sensible.
+type ShardedMapOptions struct {
+	// Fabric is the number of combining shards (0 = 4).
+	Fabric int
+	// Capacity is the total slot count across shards (0 = 64 per shard).
+	Capacity int
+	// VecCap bounds one combiner sweep and one transaction shard group
+	// (0 = 16). Part of the persistent layout — re-open with the same value.
+	VecCap int
+	// Flat disables hierarchical combining (no combiner goroutines; threads
+	// invoke their key's shard directly) — the naive-split baseline.
+	Flat bool
+	// MaxLegs bounds a transaction's leg count (0 = 8, capped at VecCap).
+	// Part of the persistent layout.
+	MaxLegs int
+	// Epoch switches the fabric to epoch-mode relaxed durability. The
+	// cross-shard atomicity guarantee is specified for strict mode;
+	// in epoch mode a transaction is atomic once its epoch durably closed.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode).
+	EpochInterval time.Duration
+}
+
+// TxnLeg is one operation of a cross-shard transaction (op codes follow the
+// map: 1 Put, 2 Get, 3 Delete, 4 Add).
+type TxnLeg struct {
+	Op  uint64
+	Key uint64
+	Val uint64
+}
+
+// OpTxn is the op code ShardedMap.Recover reports for a resolved cross-shard
+// transaction.
+const OpTxn = fabric.OpTxn
+
+// NewShardedMap creates — or, after Crash, re-opens — a sharded combining
+// fabric for threads client threads. Call Close before discarding the
+// instance (it stops the per-shard combiner goroutines).
+func (s *System) NewShardedMap(name string, threads int, kind Kind, opts ...ShardedMapOptions) *ShardedMap {
+	var o ShardedMapOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	k := fabric.Blocking
+	if kind == WaitFree {
+		k = fabric.WaitFree
+	}
+	return &ShardedMap{f: fabric.New(s.heap, name, threads, fabric.Options{
+		Shards:        o.Fabric,
+		Capacity:      o.Capacity,
+		Kind:          k,
+		VecCap:        o.VecCap,
+		Flat:          o.Flat,
+		MaxLegs:       o.MaxLegs,
+		Epoch:         o.Epoch,
+		EpochInterval: o.EpochInterval,
+	})}
+}
+
+// Put maps key to val for thread tid.
+func (m *ShardedMap) Put(tid int, key, val uint64) (prev uint64, existed bool) {
+	return m.f.Put(tid, key, val)
+}
+
+// Get returns the value mapped to key.
+func (m *ShardedMap) Get(tid int, key uint64) (uint64, bool) { return m.f.Get(tid, key) }
+
+// Delete removes key, returning the removed value.
+func (m *ShardedMap) Delete(tid int, key uint64) (uint64, bool) { return m.f.Delete(tid, key) }
+
+// Add adds delta (two's complement) to key's value, inserting delta for an
+// absent key, and returns the new value.
+func (m *ShardedMap) Add(tid int, key, delta uint64) uint64 { return m.f.Add(tid, key, delta) }
+
+// TransferAdd atomically moves amount from key `from` to key `to`; the sum
+// of all values (mod 2^64) is conserved across the transfer, crash included.
+func (m *ShardedMap) TransferAdd(tid int, from, to, amount uint64) (fromNew, toNew uint64) {
+	return m.f.TransferAdd(tid, from, to, amount)
+}
+
+// PutAll atomically maps every pair (Op fields are ignored), returning the
+// per-pair previous values.
+func (m *ShardedMap) PutAll(tid int, pairs []TxnLeg) []uint64 {
+	legs := make([]fabric.Leg, len(pairs))
+	for i, p := range pairs {
+		legs[i] = fabric.Leg{Key: p.Key, Val: p.Val}
+	}
+	return m.f.PutAll(tid, legs)
+}
+
+// Txn executes legs as one atomic multi-shard transaction (see TxnLeg);
+// results are per-leg, in leg order. Legs of different shards are not
+// mutually ordered — use commuting legs for cross-shard invariants.
+func (m *ShardedMap) Txn(tid int, legs []TxnLeg) []uint64 {
+	fl := make([]fabric.Leg, len(legs))
+	for i, l := range legs {
+		fl[i] = fabric.Leg{Op: l.Op, Key: l.Key, Val: l.Val}
+	}
+	return m.f.Txn(tid, fl)
+}
+
+// Recover resolves thread tid's interrupted operation (or whole transaction,
+// reported as op=OpTxn) exactly once. Call for every tid after re-opening.
+func (m *ShardedMap) Recover(tid int) (op, key, result uint64, pending bool) {
+	return m.f.Recover(tid)
+}
+
+// Close stops the per-shard combiner goroutines; call while quiescent.
+func (m *ShardedMap) Close() { m.f.Close() }
+
+// Shards returns the fabric's shard count.
+func (m *ShardedMap) Shards() int { return m.f.Shards() }
+
+// Sync forces an epoch close (no-op in strict mode).
+func (m *ShardedMap) Sync() { m.f.Sync() }
+
+// Len returns the number of live keys (quiescent use only).
+func (m *ShardedMap) Len() int { return m.f.Len() }
+
+// Range iterates all pairs (quiescent use only).
+func (m *ShardedMap) Range(f func(key, val uint64) bool) { m.f.Range(f) }
+
+// SumValues returns the sum (mod 2^64) of all values — the invariant
+// TransferAdd conserves (quiescent use only).
+func (m *ShardedMap) SumValues() uint64 { return m.f.SumValues() }
+
+// SetHistory installs (or, with nil, removes) an operation recorder.
+func (m *ShardedMap) SetHistory(h *History) { m.f.SetHistory(h) }

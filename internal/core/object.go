@@ -89,7 +89,51 @@ type CombOpts struct {
 	// vectorized announcement; 0 or 1 builds a scalar-only instance with the
 	// classic record layout.
 	VecCap int
+	// Delegate widens the argument ring entries to four words (op, a0, a1,
+	// meta) so a vectorized announcement can carry operations *on behalf of
+	// other threads*: meta names the originating thread and the parity of its
+	// per-thread sequence number, and the combiner credits the response and
+	// the deactivate toggle to the originator instead of the announcer. This
+	// is the mechanism behind hierarchical combining (a local combiner batches
+	// many threads' requests into one announcement) and cross-shard
+	// transactions (one thread announces a group of its own legs as a unit).
+	// Requires VecCap > 1.
+	Delegate bool
 }
+
+// DelOp is one delegated operation: an (op, a0, a1) triple to execute, plus
+// the originating thread and that thread's per-thread sequence number whose
+// low bit drives the originator's activate/deactivate detectability. The
+// response lands in the originator's ReturnVal slot, so after a crash the
+// originator recovers it through its own Recover — the delegating
+// announcement itself needs no durability.
+type DelOp struct {
+	Op  uint64
+	A0  uint64
+	A1  uint64
+	Tid int
+	Seq uint64
+}
+
+// DelegateProtocol is satisfied by protocol instances built with
+// CombOpts.Delegate: VecProtocol plus the delegating entry point.
+type DelegateProtocol interface {
+	VecProtocol
+	// InvokeDelegated announces dops as one vector under ctid's slot — seq is
+	// ctid's own per-announcement sequence number — waits until a combining
+	// round has served the whole vector, and copies each operation's response
+	// into rets[i]. Each originator's deactivate bit flips to dop.Seq&1 in the
+	// same durable round, so its op stays exactly-once recoverable through the
+	// ordinary scalar Recover path.
+	InvokeDelegated(ctid int, seq uint64, dops []DelOp, rets []uint64)
+}
+
+// packDelMeta packs a delegated entry's originating thread and activate
+// parity into the ring's meta word.
+func packDelMeta(tid int, seq uint64) uint64 { return uint64(tid)<<1 | seq&1 }
+
+// unpackDelMeta splits a meta word into originating thread and parity.
+func unpackDelMeta(m uint64) (int, uint64) { return int(m >> 1), m & 1 }
 
 // VecProtocol is satisfied by protocol instances built with CombOpts.VecCap
 // > 1: they accept vectorized announcements of up to VecCap operations per

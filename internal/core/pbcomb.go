@@ -42,6 +42,14 @@ type PBComb struct {
 	vec       *pmem.Region
 	vecStride int
 
+	// Delegation (CombOpts.Delegate): ring entries widen to four words, the
+	// fourth naming the originating thread and parity (see DelOp). delTogs is
+	// per-thread combiner scratch for the announcer toggles a round owes to
+	// delegating announcements, packed q<<1|act.
+	delegate bool
+	entWords int // ring words per vector entry: 3, or 4 with delegation
+	delTogs  [][]uint64
+
 	req     []reqSlot
 	lock    atomic.Uint64
 	lockVal atomic.Uint64
@@ -132,6 +140,14 @@ func NewPBCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *PB
 	if c.vcap < 1 {
 		c.vcap = 1
 	}
+	c.entWords = 3
+	if o.Delegate {
+		if c.vcap < 2 {
+			panic("core: CombOpts.Delegate requires VecCap > 1")
+		}
+		c.delegate = true
+		c.entWords = 4
+	}
 	c.retOff = c.stWords
 	c.deactOff = c.stWords + n*c.vcap
 	c.recWords = roundUpLine(c.deactOff + n)
@@ -139,7 +155,7 @@ func NewPBCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *PB
 	c.state = h.AllocOrGet(name+"/pbcomb.state", 2*c.recWords)
 	c.meta = h.AllocOrGet(name+"/pbcomb.meta", 2*pmem.LineWords)
 	if c.vcap > 1 {
-		c.vecStride = roundUpLine(3 * c.vcap)
+		c.vecStride = roundUpLine(c.entWords * c.vcap)
 		c.vec = h.AllocOrGet(name+"/pbcomb.vec", n*c.vecStride)
 	}
 
@@ -154,6 +170,12 @@ func NewPBCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *PB
 		c.ctxs[i] = h.NewCtx()
 		c.scratch[i] = make([]Request, 0, n*c.vcap)
 		c.annYld[i].V.Store(annYieldMin)
+	}
+	if c.delegate {
+		c.delTogs = make([][]uint64, n)
+		for i := range c.delTogs {
+			c.delTogs[i] = make([]uint64, 0, n)
+		}
 	}
 	if o.Sparse {
 		c.sparse = true
@@ -278,7 +300,9 @@ func (c *PBComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
 	if c.spans != nil {
 		c.spans.Record(tid, obs.PhaseBackoff, t1, obs.Now(), 0)
 	}
-	return c.perform(tid)
+	ret := c.perform(tid)
+	c.clearAnnounce(tid)
+	return ret
 }
 
 // SetAdaptiveBackoff enables or disables the adaptive announce backoff
@@ -346,9 +370,25 @@ func (c *PBComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 	c.req[tid].announce(op, a0, a1, seq&1)
 	mi := c.meta.Load(0)
 	if c.state.Load(c.recOff(mi)+c.deactOff+tid) != seq&1 {
-		return c.perform(tid)
+		ret := c.perform(tid)
+		c.clearAnnounce(tid)
+		return ret
 	}
+	c.clearAnnounce(tid)
 	return c.state.Load(c.recOff(mi) + c.retSlot(tid))
+}
+
+// clearAnnounce retires tid's completed announcement from its slot (delegate
+// instances only). With delegation a thread's deactivate bit can flip without
+// the thread ever re-announcing, which would make a completed-but-still-valid
+// slot look active again to a later round and re-execute it; retiring the
+// control word closes that resurrection window. Volatile-only and race-free:
+// combining rounds are serialized by the lock, so any round that gathered
+// this announcement has completed before the owning thread returned.
+func (c *PBComb) clearAnnounce(tid int) {
+	if c.delegate {
+		c.req[tid].ctl.Store(0)
+	}
 }
 
 // perform is the paper's PerformReqest: acquire the lock and combine, or
@@ -469,6 +509,10 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 	c.onCopied(tid, copied)
 
 	batch := c.scratch[tid][:0]
+	var togs []uint64
+	if c.delegate {
+		togs = c.delTogs[tid][:0]
+	}
 	anns := 0
 	for q := 0; q < c.n; q++ {
 		ctl := c.req[q].ctl.Load()
@@ -488,15 +532,48 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 			// one Request per entry, served in ring order so q's program
 			// order is preserved within the round.
 			vb := c.vecBase(q)
-			for i := 0; i < cnt; i++ {
-				batch = append(batch, Request{
-					Tid: uint64(q),
-					Op:  c.vec.Load(vb + 3*i),
-					A0:  c.vec.Load(vb + 3*i + 1),
-					A1:  c.vec.Load(vb + 3*i + 2),
-					act: act,
-					vi:  i,
-				})
+			if c.delegate {
+				// Each entry carries its originator in the meta word:
+				// responses and deactivate toggles are credited to the
+				// originator, and q's own toggle is deferred to the side list
+				// so a completed delegating announcement never clobbers an
+				// originator's response slot.
+				start := len(batch)
+				for i := 0; i < cnt; i++ {
+					ot, par := unpackDelMeta(c.vec.Load(vb + 4*i + 3))
+					if ot < 0 || ot >= c.n {
+						continue // torn meta from a doomed republication
+					}
+					if par == c.state.Load(dst+c.deactOff+ot) {
+						continue // originator already served (recovery replay)
+					}
+					vi := 0
+					for j := start; j < len(batch); j++ {
+						if batch[j].Tid == uint64(ot) {
+							vi++
+						}
+					}
+					batch = append(batch, Request{
+						Tid: uint64(ot),
+						Op:  c.vec.Load(vb + 4*i),
+						A0:  c.vec.Load(vb + 4*i + 1),
+						A1:  c.vec.Load(vb + 4*i + 2),
+						act: par,
+						vi:  vi,
+					})
+				}
+				togs = append(togs, uint64(q)<<1|act)
+			} else {
+				for i := 0; i < cnt; i++ {
+					batch = append(batch, Request{
+						Tid: uint64(q),
+						Op:  c.vec.Load(vb + 3*i),
+						A0:  c.vec.Load(vb + 3*i + 1),
+						A1:  c.vec.Load(vb + 3*i + 2),
+						act: act,
+						vi:  i,
+					})
+				}
 			}
 		} else {
 			batch = append(batch, Request{
@@ -509,6 +586,9 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 		}
 	}
 	c.scratch[tid] = batch
+	if c.delegate {
+		c.delTogs[tid] = togs
+	}
 	c.onRound(tid, len(batch))
 	if c.adaptive {
 		// Combining-degree EMA feeding announceWait, counted in announcements
@@ -543,6 +623,16 @@ func (c *PBComb) combine(tid int, lockHeld uint64) uint64 {
 			c.dirtyCur.addLine((c.deactOff + q) / pmem.LineWords)
 		}
 		c.onStateWrite(tid, dst+ret)
+	}
+	// Deactivate the delegating announcers themselves: toggle only, no
+	// response — their entries' responses went to the originators above.
+	for _, t := range togs {
+		q := int(t >> 1)
+		c.state.Store(dst+c.deactOff+q, t&1)
+		if c.sparse {
+			c.dirtyCur.addLine((c.deactOff + q) / pmem.LineWords)
+		}
+		c.onStateWrite(tid, dst+c.deactOff+q)
 	}
 
 	// Span boundary: combine covers copy+gather+serve, persist covers the

@@ -46,6 +46,13 @@ type PWFComb struct {
 	vec       *pmem.Region
 	vecStride int
 
+	// Delegation (CombOpts.Delegate): see PBComb — four-word ring entries
+	// whose meta word credits each op to its originator; delTogs is combiner
+	// scratch for the deferred announcer toggles, packed q<<1|act.
+	delegate bool
+	entWords int
+	delTogs  [][]uint64
+
 	req       []reqSlot
 	flush     []prim.PaddedUint64
 	combRound []uint64 // [p*n+q], accessed atomically
@@ -155,6 +162,14 @@ func NewPWFCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *P
 	if c.vcap < 1 {
 		c.vcap = 1
 	}
+	c.entWords = 3
+	if o.Delegate {
+		if c.vcap < 2 {
+			panic("core: CombOpts.Delegate requires VecCap > 1")
+		}
+		c.delegate = true
+		c.entWords = 4
+	}
 	c.retOff = c.stWords
 	c.deactOff = c.stWords + n*c.vcap
 	c.idxOff = c.deactOff + n
@@ -165,7 +180,7 @@ func NewPWFCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *P
 	c.sreg = h.AllocOrGet(name+"/pwfcomb.s", 2*pmem.LineWords)
 	c.sv = pmem.Versioned{R: c.sreg, I: 0}
 	if c.vcap > 1 {
-		c.vecStride = roundUpLine(3 * c.vcap)
+		c.vecStride = roundUpLine(c.entWords * c.vcap)
 		c.vec = h.AllocOrGet(name+"/pwfcomb.vec", n*c.vecStride)
 	}
 
@@ -185,6 +200,12 @@ func NewPWFCombWith(h *pmem.Heap, name string, n int, obj Object, o CombOpts) *P
 		c.scratch[i] = make([]Request, 0, n*c.vcap)
 		c.backoffs[i] = prim.NewBackoff(16, 4096, int64(i)+1)
 		c.annYld[i].V.Store(annYieldMin)
+	}
+	if c.delegate {
+		c.delTogs = make([][]uint64, n)
+		for i := range c.delTogs {
+			c.delTogs[i] = make([]uint64, 0, n)
+		}
 	}
 	if o.Sparse {
 		c.sparse = true
@@ -284,7 +305,20 @@ func (c *PWFComb) Invoke(tid int, op, a0, a1, seq uint64) uint64 {
 	if c.spans != nil {
 		c.spans.Record(tid, obs.PhaseBackoff, t1, obs.Now(), 0)
 	}
-	return c.perform(tid)
+	ret := c.perform(tid)
+	c.clearAnnounce(tid)
+	return ret
+}
+
+// clearAnnounce retires tid's completed announcement from its slot (delegate
+// instances only; see PBComb.clearAnnounce). Race-free here because a
+// concurrent combining round that gathered the announcement against the old
+// deactivate bit either installed before the owner returned or fails its
+// SC/validation and discards its copy.
+func (c *PWFComb) clearAnnounce(tid int) {
+	if c.delegate {
+		c.req[tid].ctl.Store(0)
+	}
 }
 
 // SetAdaptiveBackoff enables or disables the adaptive announce backoff
@@ -340,8 +374,11 @@ func (c *PWFComb) Recover(tid int, op, a0, a1, seq uint64) uint64 {
 	}
 	c.req[tid].announce(op, a0, a1, seq&1)
 	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {
-		return c.perform(tid)
+		ret := c.perform(tid)
+		c.clearAnnounce(tid)
+		return ret
 	}
+	c.clearAnnounce(tid)
 	return c.readRecWord(tid, c.retSlot(tid))
 }
 
@@ -454,6 +491,10 @@ func (c *PWFComb) perform(tid int) uint64 {
 		}
 
 		batch := c.scratch[tid][:0]
+		var togs []uint64
+		if c.delegate {
+			togs = c.delTogs[tid][:0]
+		}
 		anns := 0
 		for q := 0; q < c.n; q++ {
 			ctl := c.req[q].ctl.Load()
@@ -474,15 +515,46 @@ func (c *PWFComb) perform(tid int) uint64 {
 				// already doomed and its writes stay in the private buffer,
 				// so a torn read here is harmless.
 				vb := c.vecBase(q)
-				for i := 0; i < cnt; i++ {
-					batch = append(batch, Request{
-						Tid: uint64(q),
-						Op:  c.vec.Load(vb + 3*i),
-						A0:  c.vec.Load(vb + 3*i + 1),
-						A1:  c.vec.Load(vb + 3*i + 2),
-						act: act,
-						vi:  i,
-					})
+				if c.delegate {
+					// Delegated entries credit response and toggle to the
+					// originator named in the meta word; the announcer's own
+					// toggle is deferred to the side list (see PBComb).
+					start := len(batch)
+					for i := 0; i < cnt; i++ {
+						ot, par := unpackDelMeta(c.vec.Load(vb + 4*i + 3))
+						if ot < 0 || ot >= c.n {
+							continue // torn meta from a doomed republication
+						}
+						if par == c.state.Load(dst+c.deactOff+ot) {
+							continue // originator already served (recovery replay)
+						}
+						vi := 0
+						for j := start; j < len(batch); j++ {
+							if batch[j].Tid == uint64(ot) {
+								vi++
+							}
+						}
+						batch = append(batch, Request{
+							Tid: uint64(ot),
+							Op:  c.vec.Load(vb + 4*i),
+							A0:  c.vec.Load(vb + 4*i + 1),
+							A1:  c.vec.Load(vb + 4*i + 2),
+							act: par,
+							vi:  vi,
+						})
+					}
+					togs = append(togs, uint64(q)<<1|act)
+				} else {
+					for i := 0; i < cnt; i++ {
+						batch = append(batch, Request{
+							Tid: uint64(q),
+							Op:  c.vec.Load(vb + 3*i),
+							A0:  c.vec.Load(vb + 3*i + 1),
+							A1:  c.vec.Load(vb + 3*i + 2),
+							act: act,
+							vi:  i,
+						})
+					}
 				}
 			} else {
 				batch = append(batch, Request{
@@ -495,6 +567,9 @@ func (c *PWFComb) perform(tid int) uint64 {
 			}
 		}
 		c.scratch[tid] = batch
+		if c.delegate {
+			c.delTogs[tid] = togs
+		}
 
 		if c.bobj != nil {
 			c.bobj.ApplyBatch(env, batch)
@@ -512,6 +587,16 @@ func (c *PWFComb) perform(tid int) uint64 {
 				d := c.bufDirty[my]
 				d.addLine(ret / pmem.LineWords)
 				d.addLine((c.deactOff + q) / pmem.LineWords)
+			}
+			atomic.StoreUint64(&c.combRound[tid*c.n+q], lval)
+		}
+		// Deactivate the delegating announcers themselves: toggle only, no
+		// response — their entries' responses went to the originators above.
+		for _, t := range togs {
+			q := int(t >> 1)
+			c.state.Store(dst+c.deactOff+q, t&1)
+			if c.sparse {
+				c.bufDirty[my].addLine((c.deactOff + q) / pmem.LineWords)
 			}
 			atomic.StoreUint64(&c.combRound[tid*c.n+q], lval)
 		}

@@ -60,12 +60,13 @@ func (c *PBComb) PublishVec(tid int, ops []VecOp) {
 	}
 	b := c.vecBase(tid)
 	for i, op := range ops {
-		c.vec.Store(b+3*i, op.Op)
-		c.vec.Store(b+3*i+1, op.A0)
-		c.vec.Store(b+3*i+2, op.A1)
+		e := b + c.entWords*i
+		c.vec.Store(e, op.Op)
+		c.vec.Store(e+1, op.A0)
+		c.vec.Store(e+2, op.A1)
 	}
 	ctx := c.ctxs[tid]
-	ctx.PWB(c.vec, b, 3*len(ops))
+	ctx.PWB(c.vec, b, c.entWords*len(ops))
 	ctx.PFence()
 	if c.spans != nil {
 		c.spans.Record(tid, obs.PhasePublish, t0, obs.Now(), uint64(len(ops)))
@@ -81,27 +82,47 @@ func (c *PWFComb) PublishVec(tid int, ops []VecOp) {
 	}
 	b := c.vecBase(tid)
 	for i, op := range ops {
-		c.vec.Store(b+3*i, op.Op)
-		c.vec.Store(b+3*i+1, op.A0)
-		c.vec.Store(b+3*i+2, op.A1)
+		e := b + c.entWords*i
+		c.vec.Store(e, op.Op)
+		c.vec.Store(e+1, op.A0)
+		c.vec.Store(e+2, op.A1)
 	}
 	ctx := c.ctxs[tid]
-	ctx.PWB(c.vec, b, 3*len(ops))
+	ctx.PWB(c.vec, b, c.entWords*len(ops))
 	ctx.PFence()
 	if c.spans != nil {
 		c.spans.Record(tid, obs.PhasePublish, t0, obs.Now(), uint64(len(ops)))
 	}
 }
 
+// stampMetas writes the delegate meta word of tid's first cnt ring entries:
+// every op of a self-published vector originates from tid itself with the
+// announcement's parity. The stores are plain region writes — the meta word
+// is consumed only by in-process combiners (ordered by the ctl store that
+// follows) and never read by post-crash recovery, which republishes.
+func (c *PBComb) stampMetas(tid, cnt int, seq uint64) {
+	b := c.vecBase(tid)
+	for i := 0; i < cnt; i++ {
+		c.vec.Store(b+4*i+3, packDelMeta(tid, seq))
+	}
+}
+
+func (c *PWFComb) stampMetas(tid, cnt int, seq uint64) {
+	b := c.vecBase(tid)
+	for i := 0; i < cnt; i++ {
+		c.vec.Store(b+4*i+3, packDelMeta(tid, seq))
+	}
+}
+
 // VecArg reads entry i of tid's argument ring.
 func (c *PBComb) VecArg(tid, i int) VecOp {
-	b := c.vecBase(tid) + 3*i
+	b := c.vecBase(tid) + c.entWords*i
 	return VecOp{Op: c.vec.Load(b), A0: c.vec.Load(b + 1), A1: c.vec.Load(b + 2)}
 }
 
 // VecArg reads entry i of tid's argument ring.
 func (c *PWFComb) VecArg(tid, i int) VecOp {
-	b := c.vecBase(tid) + 3*i
+	b := c.vecBase(tid) + c.entWords*i
 	return VecOp{Op: c.vec.Load(b), A0: c.vec.Load(b + 1), A1: c.vec.Load(b + 2)}
 }
 
@@ -118,6 +139,9 @@ func (c *PBComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 	if c.spans != nil {
 		t0 = obs.Now()
 	}
+	if c.delegate {
+		c.stampMetas(tid, cnt, seq)
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	c.onReqWrite(tid, tid)
 	if c.adaptive && c.n > 1 {
@@ -129,6 +153,7 @@ func (c *PBComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 		c.spans.Record(tid, obs.PhaseBackoff, t0, obs.Now(), 0)
 	}
 	c.perform(tid)
+	c.clearAnnounce(tid)
 	c.collectRets(tid, cnt, rets)
 }
 
@@ -145,6 +170,9 @@ func (c *PWFComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 	if c.spans != nil {
 		t0 = obs.Now()
 	}
+	if c.delegate {
+		c.stampMetas(tid, cnt, seq)
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	if c.adaptive && c.n > 1 {
 		c.announceWaitW(tid, seq&1)
@@ -155,6 +183,7 @@ func (c *PWFComb) PerformVec(tid, cnt int, seq uint64, rets []uint64) {
 		c.spans.Record(tid, obs.PhaseBackoff, t0, obs.Now(), 0)
 	}
 	c.perform(tid)
+	c.clearAnnounce(tid)
 	c.collectRets(tid, cnt, rets)
 }
 
@@ -229,11 +258,15 @@ func (c *PBComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
 		return
 	}
 	c.PublishVec(tid, ops)
+	if c.delegate {
+		c.stampMetas(tid, cnt, seq)
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	mi := c.meta.Load(0)
 	if c.state.Load(c.recOff(mi)+c.deactOff+tid) != seq&1 {
 		c.perform(tid)
 	}
+	c.clearAnnounce(tid)
 	c.collectRets(tid, cnt, rets)
 }
 
@@ -252,9 +285,116 @@ func (c *PWFComb) RecoverVec(tid int, ops []VecOp, seq uint64, rets []uint64) {
 		return
 	}
 	c.PublishVec(tid, ops)
+	if c.delegate {
+		c.stampMetas(tid, cnt, seq)
+	}
 	c.req[tid].announceVec(cnt, seq&1)
 	if c.readRecWord(tid, c.deactOff+tid) != seq&1 {
 		c.perform(tid)
 	}
+	c.clearAnnounce(tid)
 	c.collectRets(tid, cnt, rets)
+}
+
+// InvokeDelegated announces dops — operations originated by *other* threads —
+// as one vector under ctid's announcement slot; seq is ctid's own
+// per-announcement sequence number (one per call, low bit driving ctid's
+// toggle). A combining round executes each op, writes its response into the
+// originator's ReturnVal slot, and flips the originator's deactivate bit to
+// dop.Seq&1 in the same durable record — so every delegated op remains
+// exactly-once recoverable through the originator's own scalar Recover, and
+// the delegating ring itself needs no durability (no pwb/pfence: after a
+// crash each originator re-announces for itself).
+//
+// rets[i] receives dops[i]'s response. The originators must be parked (they
+// are waiting for ctid to hand the response back), so their ReturnVal slots
+// cannot be overwritten between the serving round and the collection below.
+func (c *PBComb) InvokeDelegated(ctid int, seq uint64, dops []DelOp, rets []uint64) {
+	cnt := len(dops)
+	if cnt == 0 {
+		return
+	}
+	if !c.delegate {
+		panic("core: instance built without CombOpts.Delegate")
+	}
+	c.checkVec(cnt, rets)
+	c.onBatchSize(ctid, cnt)
+	b := c.vecBase(ctid)
+	for i, d := range dops {
+		e := b + 4*i
+		c.vec.Store(e, d.Op)
+		c.vec.Store(e+1, d.A0)
+		c.vec.Store(e+2, d.A1)
+		c.vec.Store(e+3, packDelMeta(d.Tid, d.Seq))
+	}
+	c.req[ctid].announceVec(cnt, seq&1)
+	c.onReqWrite(ctid, ctid)
+	c.perform(ctid)
+	c.clearAnnounce(ctid)
+	c.collectDelRets(ctid, dops, rets)
+}
+
+// InvokeDelegated is PBComb.InvokeDelegated for the wait-free protocol.
+func (c *PWFComb) InvokeDelegated(ctid int, seq uint64, dops []DelOp, rets []uint64) {
+	cnt := len(dops)
+	if cnt == 0 {
+		return
+	}
+	if !c.delegate {
+		panic("core: instance built without CombOpts.Delegate")
+	}
+	c.checkVec(cnt, rets)
+	c.onBatchSize(ctid, cnt)
+	b := c.vecBase(ctid)
+	for i, d := range dops {
+		e := b + 4*i
+		c.vec.Store(e, d.Op)
+		c.vec.Store(e+1, d.A0)
+		c.vec.Store(e+2, d.A1)
+		c.vec.Store(e+3, packDelMeta(d.Tid, d.Seq))
+	}
+	c.req[ctid].announceVec(cnt, seq&1)
+	c.perform(ctid)
+	c.clearAnnounce(ctid)
+	c.collectDelRets(ctid, dops, rets)
+}
+
+// collectDelRets reads each delegated op's response from its originator's
+// ReturnVal block: op i of originator t landed at retSlot(t) plus i's
+// occurrence index among t's ops in the vector (combiners preserve ring
+// order per originator).
+func (c *PBComb) collectDelRets(ctid int, dops []DelOp, rets []uint64) {
+	base := c.recOff(c.meta.Load(0))
+	for i, d := range dops {
+		occ := 0
+		for j := 0; j < i; j++ {
+			if dops[j].Tid == d.Tid {
+				occ++
+			}
+		}
+		rets[i] = c.state.Load(base + c.retSlot(d.Tid) + occ)
+	}
+}
+
+// collectDelRets is PBComb.collectDelRets with validated reads, since S may
+// move mid-collection.
+func (c *PWFComb) collectDelRets(ctid int, dops []DelOp, rets []uint64) {
+	for {
+		sv := c.sv.LL()
+		slot, _ := prim.UnpackVersioned(sv)
+		base := c.recOff(slot)
+		for i, d := range dops {
+			occ := 0
+			for j := 0; j < i; j++ {
+				if dops[j].Tid == d.Tid {
+					occ++
+				}
+			}
+			rets[i] = c.state.Load(base + c.retSlot(d.Tid) + occ)
+		}
+		if c.sv.VL(sv) {
+			return
+		}
+		prim.Pause()
+	}
 }

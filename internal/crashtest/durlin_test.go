@@ -27,9 +27,9 @@ func TestMatrixTargetNames(t *testing.T) {
 		}
 	}
 	// 2 counters + 8 each for queue/stack/heap/map + 8 register variants +
-	// 2 epoch queues + 2 epoch maps.
-	if len(targets) != 46 {
-		t.Fatalf("matrix has %d targets, want 46", len(targets))
+	// 2 epoch queues + 2 epoch maps + 2 fabrics.
+	if len(targets) != 48 {
+		t.Fatalf("matrix has %d targets, want 48", len(targets))
 	}
 	for _, want := range []string{
 		"counter/PWFcomb",
@@ -41,6 +41,7 @@ func TestMatrixTargetNames(t *testing.T) {
 		"map/PBmap-vec", "map/PWFmap-dense",
 		"register/PBdense", "register/PWFsparse",
 		"register/PBbatch", "register/PWFbatch-dense",
+		"fabric/PBfabric", "fabric/PWFfabric",
 	} {
 		if !seen[want] {
 			t.Fatalf("matrix is missing target %q", want)

@@ -313,6 +313,11 @@ func killVerify(cfg *KillConfig, def KillTargetDef, carry []uint64, adopt bool) 
 	}
 	t := def.Mk()
 	t.Attach(h, cfg.Threads)
+	// Targets with background goroutines (the fabric's per-shard combiners)
+	// expose Close; stop them before the heap mapping goes away.
+	if c, ok := t.(interface{ Close() }); ok {
+		defer c.Close()
+	}
 	j, err := OpenJournal(h, cfg.Threads, cfg.Ops)
 	if err != nil {
 		return nil, rr, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pcomb/internal/fabric"
 	"pcomb/internal/hashmap"
 	lin "pcomb/internal/linearizability"
 	"pcomb/internal/pmem"
@@ -62,6 +63,11 @@ func KillTargets() []KillTargetDef {
 		}},
 		{"map/PBmap", func() KillTarget { return &mapKT{kind: hashmap.Blocking, name: "map/PBmap"} }},
 		{"map/PWFmap", func() KillTarget { return &mapKT{kind: hashmap.WaitFree, name: "map/PWFmap"} }},
+		// Sharded-fabric bank transfer: hierarchical combining shards with
+		// cross-shard atomic transactions; recovery must be all-or-nothing
+		// whatever the kill point (conservation audit + per-account durlin).
+		{"fabric/PBfabric", func() KillTarget { return &fabricKT{kind: fabric.Blocking, name: "fabric/PBfabric"} }},
+		{"fabric/PWFfabric", func() KillTarget { return &fabricKT{kind: fabric.WaitFree, name: "fabric/PWFfabric"} }},
 	}
 }
 

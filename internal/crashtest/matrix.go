@@ -2,6 +2,7 @@ package crashtest
 
 import (
 	"pcomb/internal/core"
+	"pcomb/internal/fabric"
 	"pcomb/internal/hashmap"
 	"pcomb/internal/heap"
 	"pcomb/internal/queue"
@@ -97,6 +98,14 @@ func MatrixTargets(n int) []Target {
 			add(func(s int64) Driver { return NewRegisterDriverWith(wf, dense, n, s) })
 			add(func(s int64) Driver { return NewBatchRegisterDriverWith(wf, dense, n, s) })
 		}
+	}
+
+	// Sharded combining fabric with cross-shard atomic transactions: scalar
+	// ops plus TransferAdd/PutAll transactions, checked per key (history) and
+	// globally (account-sum conservation).
+	for _, kind := range []fabric.Kind{fabric.Blocking, fabric.WaitFree} {
+		kind := kind
+		add(func(s int64) Driver { return NewFabricDriver(kind, n, s) })
 	}
 
 	return out

@@ -1,0 +1,703 @@
+// Package fabric is a sharded combining fabric: a router layer that places N
+// independent recoverable combining shards behind one consistent-hash mixer
+// and extends the paper's combining into two new dimensions.
+//
+// Hierarchical combining: instead of every thread announcing directly to its
+// key's shard (and paying one announce handshake plus one chance at becoming
+// combiner per op), each shard owns a dedicated combiner goroutine that
+// sweeps a volatile posting board and batches many threads' requests into a
+// single *delegated* vectorized announcement (core.CombOpts.Delegate). The
+// per-shard persistence cost — record copy, pwb, pfence, psync — then
+// amortizes over the whole swept batch even when each client thread is only
+// mildly concurrent with the others, which is exactly the regime where flat
+// per-shard combining degrades to degree 1. Responses and deactivate bits are
+// credited to the originating threads, so every operation remains detectably
+// recoverable through the ordinary per-thread Recover path; the board itself
+// is volatile and needs no recovery.
+//
+// Cross-shard transactions: multi-key operations (TransferAdd, PutAll, or any
+// Txn leg list) group their legs by shard and run as a two-phase commit
+// anchored on a per-thread durable transaction record. Prepare writes the
+// legs, the participant groups, and each group's sequence number; the commit
+// point is one word (the marked group count); after it, each group is applied
+// as a vectorized announcement on its shard. Recovery replays every group —
+// the per-leg deactivate parities make replay idempotent — or discards the
+// whole transaction if the crash hit before the commit word, so the
+// transaction is atomic across shards.
+package fabric
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pcomb/internal/core"
+	"pcomb/internal/hashmap"
+	"pcomb/internal/history"
+	"pcomb/internal/obs"
+	"pcomb/internal/pmem"
+	"pcomb/internal/prim"
+)
+
+// Re-exported map operation codes and sentinels (the fabric's shards run the
+// hashmap's open-addressing table object).
+const (
+	OpPut = hashmap.OpPut
+	OpGet = hashmap.OpGet
+	OpDel = hashmap.OpDel
+	OpAdd = hashmap.OpAdd
+
+	NotFound = hashmap.NotFound
+	Full     = hashmap.Full
+)
+
+// OpTxn is the op code Recover reports for a resolved cross-shard
+// transaction (result = number of legs; per-leg results via RecoverTxn).
+const OpTxn = uint64(1) << 62
+
+// Kind selects the underlying combining protocol of every shard.
+type Kind int
+
+const (
+	// Blocking shards on PBcomb.
+	Blocking Kind = iota
+	// WaitFree shards on PWFcomb.
+	WaitFree
+)
+
+// Options configures a fabric map.
+type Options struct {
+	// Shards is the number of independent combining shards (0 = 4).
+	Shards int
+	// Capacity is the total slot count across shards (0 = 64 per shard).
+	Capacity int
+	// Kind selects the shard protocol (default Blocking).
+	Kind Kind
+	// VecCap bounds one combiner sweep / one transaction shard group
+	// (0 = 16, min 2). Part of the persistent layout — re-open with the
+	// same value.
+	VecCap int
+	// Flat disables hierarchical combining: no per-shard combiner
+	// goroutines, threads invoke their key's shard directly. This is the
+	// naive-split baseline the hierarchical mode is measured against.
+	Flat bool
+	// MaxLegs bounds a transaction's leg count (0 = 8, capped at VecCap).
+	// Part of the persistent layout.
+	MaxLegs int
+	// Epoch switches all shards to epoch-mode relaxed durability (one shared
+	// epoch; a crash may lose the last open epoch's operations). The
+	// cross-shard transaction recovery guarantee is specified for strict
+	// mode; in epoch mode a transaction is atomic only once its epoch has
+	// durably closed.
+	Epoch bool
+	// EpochInterval is the background close cadence (Epoch mode).
+	EpochInterval time.Duration
+}
+
+// Per-thread scalar in-flight record, after the nsh sequence counters.
+const (
+	fsOp = iota
+	fsKey
+	fsVal
+	fsShard
+	fsSeq
+	fsDone
+	fsRecWords
+)
+
+// Per-thread transaction record, after the scalar record:
+// [txOp, txDone, (shard,seq,cnt) x maxGroups, (op,key,val) x maxLegs].
+const (
+	txOpW = iota
+	txDoneW
+	txHdrWords
+)
+
+// txnMark in the txOp word marks a committed, possibly unfinished
+// transaction; the low bits carry the group count.
+const txnMark = uint64(1) << 63
+
+// Board slot states for hierarchical combining.
+const (
+	slotEmpty uint32 = iota
+	slotPosted
+	slotClaimed
+	slotDone
+)
+
+// selfServeSpins is how long a poster waits for a combiner pickup before
+// reclaiming its slot and invoking the shard itself (keeps flat-combining
+// liveness when a shard's combiner is starved or its board is cold).
+const selfServeSpins = 1 << 14
+
+// combinerLinger bounds the yield-and-regather loop a combiner runs before
+// announcing a partially filled vector.
+const combinerLinger = 4
+
+// bslot is one posting-board entry, padded to its own cache line. The owner
+// thread writes the request fields and then status (atomic store = release);
+// the combiner's status load acquires them. ret flows back the same way.
+type bslot struct {
+	op, a0, a1, seq uint64
+	ret             uint64
+	status          atomic.Uint32
+	_               [20]byte
+}
+
+type board struct {
+	slots []bslot
+	// parked/wake let an idle combiner block instead of burning a core:
+	// posters ring wake only when the combiner has declared itself parked,
+	// so the post fast path stays one load + (rarely) one non-blocking send.
+	parked atomic.Bool
+	wake   chan struct{}
+}
+
+// Map is a sharded recoverable hash map with hierarchical combining and
+// cross-shard atomic transactions.
+type Map struct {
+	h    *pmem.Heap
+	name string
+
+	n       int // client threads; shard instances are built for n+1 (tid n = combiner)
+	nsh     int
+	slots   int
+	vcap    int
+	maxLegs int
+	maxGrps int
+	flat    bool
+
+	shards []core.DelegateProtocol
+
+	// sys is the per-thread system area. Layout per thread (stride words):
+	// [nsh shard-seq counters | scalar record fsRecWords | txn record].
+	// Unlike the flat hashmap, the in-flight record is completed (done=0
+	// stored last) BEFORE the sequence counter moves, so a crash can never
+	// leave a counter ahead of a record recovery cannot see; Recover repairs
+	// the counter forward from the record instead.
+	sys    *pmem.Region
+	stride int
+	recOff int // scalar record offset within a thread block
+	txOff  int // txn record offset
+	grpOff int // groups offset within txn record
+	legOff int // legs offset within txn record
+
+	boards []*board
+	combs  []*combiner
+
+	epoch *pmem.Epoch
+	hist  *history.Recorder
+}
+
+// New creates (or re-opens after a crash) a fabric map for n client threads.
+// Re-open with the same options; call Recover for every thread before new
+// operations, and Close before discarding the instance.
+func New(h *pmem.Heap, name string, n int, o Options) *Map {
+	nsh := o.Shards
+	if nsh <= 0 {
+		nsh = 4
+	}
+	capacity := o.Capacity
+	if capacity < nsh {
+		capacity = nsh * 64
+	}
+	vcap := o.VecCap
+	if vcap <= 0 {
+		vcap = 16
+	}
+	if vcap < 2 {
+		vcap = 2
+	}
+	maxLegs := o.MaxLegs
+	if maxLegs <= 0 {
+		maxLegs = 8
+	}
+	if maxLegs > vcap {
+		maxLegs = vcap
+	}
+	m := &Map{
+		h:       h,
+		name:    name,
+		n:       n,
+		nsh:     nsh,
+		slots:   (capacity + nsh - 1) / nsh,
+		vcap:    vcap,
+		maxLegs: maxLegs,
+		flat:    o.Flat,
+	}
+	m.maxGrps = nsh
+	if m.maxGrps > maxLegs {
+		m.maxGrps = maxLegs
+	}
+	m.recOff = nsh
+	m.txOff = m.recOff + fsRecWords
+	m.grpOff = m.txOff + txHdrWords
+	m.legOff = m.grpOff + 3*m.maxGrps
+	m.stride = m.legOff + 3*m.maxLegs
+	m.sys = h.AllocOrGet(name+"/fabric.sys", n*m.stride)
+
+	obj := hashmap.NewShardObject(m.slots)
+	co := core.CombOpts{Sparse: true, VecCap: vcap, Delegate: true}
+	for s := 0; s < nsh; s++ {
+		sname := fmt.Sprintf("%s/fshard%d", name, s)
+		var inst core.DelegateProtocol
+		if o.Kind == WaitFree {
+			inst = core.NewPWFCombWith(h, sname, n+1, obj, co)
+		} else {
+			inst = core.NewPBCombWith(h, sname, n+1, obj, co)
+		}
+		m.shards = append(m.shards, inst)
+	}
+	if o.Epoch {
+		m.epoch = pmem.NewEpoch(h, name, pmem.EpochOpts{Interval: o.EpochInterval})
+		for _, sh := range m.shards {
+			sh.(core.EpochCapable).AttachEpoch(m.epoch)
+		}
+	}
+	if !m.flat {
+		m.boards = make([]*board, nsh)
+		m.combs = make([]*combiner, nsh)
+		for s := 0; s < nsh; s++ {
+			m.boards[s] = &board{slots: make([]bslot, n), wake: make(chan struct{}, 1)}
+			c := &combiner{m: m, sh: s, done: make(chan struct{})}
+			m.combs[s] = c
+			go c.run()
+		}
+	}
+	return m
+}
+
+// Close stops the per-shard combiner goroutines (no-op in flat mode). Call
+// while quiescent — no client thread may be inside an operation.
+func (m *Map) Close() {
+	for _, c := range m.combs {
+		c.stop.Store(true)
+	}
+	for _, c := range m.combs {
+		<-c.done
+	}
+	m.combs = nil
+	if m.epoch != nil {
+		m.epoch.Stop()
+	}
+}
+
+// combiner is one shard's dedicated sweeping goroutine: it claims posted
+// requests and announces them as a single delegated vector, so the shard's
+// whole persistence cost amortizes over the swept batch.
+type combiner struct {
+	m    *Map
+	sh   int
+	stop atomic.Bool
+	done chan struct{}
+}
+
+// hasPosted reports whether any slot is currently posted (park race check).
+func (b *board) hasPosted() bool {
+	for q := range b.slots {
+		if b.slots[q].status.Load() == slotPosted {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *combiner) run() {
+	defer close(c.done)
+	defer func() {
+		// A simulated crash unwinds the combiner like any worker; posters
+		// observe h.Crashed() and unwind too. Fresh goroutines start when
+		// the fabric is re-opened after recovery.
+		if r := recover(); r != nil {
+			if _, ok := r.(pmem.CrashError); !ok {
+				panic(r)
+			}
+		}
+	}()
+	m, sh := c.m, c.sh
+	inst := m.shards[sh]
+	ctid := m.n
+	// The combiner's own announcement parity chain must survive re-open:
+	// seed from the durable deactivate bit so the first announcement flips it.
+	seq := inst.(core.EpochCapable).DeactParity(ctid)
+	b := m.boards[sh]
+	dops := make([]core.DelOp, 0, m.vcap)
+	idxs := make([]int, 0, m.vcap)
+	rets := make([]uint64, m.vcap)
+	idle := 0
+	for {
+		if c.stop.Load() || m.h.Crashed() {
+			return
+		}
+		dops, idxs = dops[:0], idxs[:0]
+		claim := func() {
+			for q := 0; q < len(b.slots) && len(dops) < m.vcap; q++ {
+				s := &b.slots[q]
+				if s.status.Load() == slotPosted && s.status.CompareAndSwap(slotPosted, slotClaimed) {
+					dops = append(dops, core.DelOp{Op: s.op, A0: s.a0, A1: s.a1, Tid: q, Seq: s.seq})
+					idxs = append(idxs, q)
+				}
+			}
+		}
+		claim()
+		// Linger: a round's persistence cost amortizes over its batch, so a
+		// short yield to let late posters land beats announcing a thin
+		// vector — the whole hierarchical-combining bet. Bounded so a lone
+		// client on an idle shard is not held hostage.
+		for linger := 0; linger < combinerLinger && len(dops) > 0 && len(dops) < m.vcap; linger++ {
+			runtime.Gosched()
+			claim()
+		}
+		if len(dops) == 0 {
+			if idle++; idle > 256 {
+				// Park: declare it, re-check for a post that raced the
+				// declaration, then block until a poster rings (or a timeout
+				// re-checks stop/crash so shutdown can't hang on a lost wake).
+				b.parked.Store(true)
+				if !b.hasPosted() {
+					select {
+					case <-b.wake:
+					case <-time.After(100 * time.Microsecond):
+					}
+				}
+				b.parked.Store(false)
+			} else if idle > 64 {
+				runtime.Gosched()
+			} else {
+				prim.Pause()
+			}
+			continue
+		}
+		idle = 0
+		seq++
+		inst.InvokeDelegated(ctid, seq, dops, rets[:len(dops)])
+		for i, q := range idxs {
+			s := &b.slots[q]
+			s.ret = rets[i]
+			s.status.Store(slotDone)
+		}
+	}
+}
+
+// Shards returns the shard count.
+func (m *Map) Shards() int { return m.nsh }
+
+// Hierarchical reports whether per-shard combiner goroutines are running.
+func (m *Map) Hierarchical() bool { return !m.flat }
+
+func (m *Map) shardOf(key uint64) int {
+	return int(prim.Mix(key) >> 33 % uint64(m.nsh))
+}
+
+// ShardOf returns the shard index serving key.
+func (m *Map) ShardOf(key uint64) int { return m.shardOf(key) }
+
+// SetHistory installs (or removes, with nil) a durable-linearizability
+// history recorder. Install while quiescent.
+func (m *Map) SetHistory(h *history.Recorder) {
+	if h != nil && m.epoch != nil {
+		h.SetEpochClock(m.epoch.Now)
+	}
+	m.hist = h
+}
+
+// tidClamp adapts an external per-thread stats sink sized for the n client
+// threads to the fabric's extra combiner tid (ctid = n): the service
+// thread's events are credited to the last client stripe. Only exported
+// aggregates are consumed from these sinks, so the re-attribution is
+// invisible.
+type tidClamp struct {
+	t   core.CombTracker
+	v   core.VecTracker
+	max int
+}
+
+func (c tidClamp) tid(t int) int {
+	if t > c.max {
+		return c.max
+	}
+	return t
+}
+func (c tidClamp) Round(tid, degree int)  { c.t.Round(c.tid(tid), degree) }
+func (c tidClamp) Helped(tid int)         { c.t.Helped(c.tid(tid)) }
+func (c tidClamp) LockFail(tid int)       { c.t.LockFail(c.tid(tid)) }
+func (c tidClamp) SCFail(tid int)         { c.t.SCFail(c.tid(tid)) }
+func (c tidClamp) Copied(tid, words int)  { c.t.Copied(c.tid(tid), words) }
+func (c tidClamp) BatchSize(tid, sz int) {
+	if c.v != nil {
+		c.v.BatchSize(c.tid(tid), sz)
+	}
+}
+
+// SetCombTracker installs one shared combining-stats sink on every shard
+// (fabric-level aggregate; use ShardStats for a per-shard view). The sink
+// may be sized for the client thread count: combiner-thread events are
+// clamped into the last client stripe.
+func (m *Map) SetCombTracker(t core.CombTracker) {
+	var w core.CombTracker
+	if t != nil {
+		c := tidClamp{t: t, max: m.n - 1}
+		c.v, _ = t.(core.VecTracker)
+		w = c
+	}
+	for _, sh := range m.shards {
+		if ct, ok := sh.(core.CombTrackable); ok {
+			ct.SetCombTracker(w)
+		}
+	}
+}
+
+// ShardStats builds an obs.CombGroup with one child sink per shard and
+// installs child i on shard i: per-shard combining degree stays observable
+// while the group's Snapshot reads the merged fabric-level aggregate.
+func (m *Map) ShardStats() *obs.CombGroup {
+	return m.ShardStatsTee(nil)
+}
+
+// combTee fans shard events out to the per-shard group child and an
+// optional fabric-level parent sink.
+type combTee struct {
+	a, b core.CombTracker
+	av   core.VecTracker
+	bv   core.VecTracker
+}
+
+func (t combTee) Round(tid, degree int) { t.a.Round(tid, degree); t.b.Round(tid, degree) }
+func (t combTee) Helped(tid int)        { t.a.Helped(tid); t.b.Helped(tid) }
+func (t combTee) LockFail(tid int)      { t.a.LockFail(tid); t.b.LockFail(tid) }
+func (t combTee) SCFail(tid int)        { t.a.SCFail(tid); t.b.SCFail(tid) }
+func (t combTee) Copied(tid, words int) { t.a.Copied(tid, words); t.b.Copied(tid, words) }
+func (t combTee) BatchSize(tid, sz int) {
+	if t.av != nil {
+		t.av.BatchSize(tid, sz)
+	}
+	if t.bv != nil {
+		t.bv.BatchSize(tid, sz)
+	}
+}
+
+// ShardStatsTee is ShardStats with an additional shared fabric-level sink:
+// shard i's events reach both the group's child i and parent (the parent
+// may be sized for the n client threads — it is tid-clamped like
+// SetCombTracker's argument).
+func (m *Map) ShardStatsTee(parent core.CombTracker) *obs.CombGroup {
+	g := obs.NewCombGroup(m.nsh, m.n+1)
+	var pw core.CombTracker
+	var pv core.VecTracker
+	if parent != nil {
+		c := tidClamp{t: parent, max: m.n - 1}
+		c.v, _ = parent.(core.VecTracker)
+		pw, pv = c, c
+	}
+	for i, sh := range m.shards {
+		ct, ok := sh.(core.CombTrackable)
+		if !ok {
+			continue
+		}
+		if pw == nil {
+			ct.SetCombTracker(g.Child(i))
+			continue
+		}
+		ct.SetCombTracker(combTee{a: g.Child(i), av: g.Child(i), b: pw, bv: pv})
+	}
+	return g
+}
+
+// SetSpanLog installs per-op lifecycle span recording on every shard.
+// Hierarchical mode records nothing at the shard level: there the shards
+// are driven by the combiner thread (tid n), which has no track in a log
+// sized for the n client threads — the harness's whole-op spans still
+// cover the client side.
+func (m *Map) SetSpanLog(l *obs.SpanLog) {
+	if !m.flat && l != nil {
+		return
+	}
+	for _, sh := range m.shards {
+		if st, ok := sh.(core.SpanTrackable); ok {
+			st.SetSpanLog(l)
+		}
+	}
+}
+
+// Epoch returns the shared epoch state (nil in strict mode).
+func (m *Map) Epoch() *pmem.Epoch { return m.epoch }
+
+// Sync forces an epoch close (no-op in strict mode).
+func (m *Map) Sync() {
+	if m.epoch != nil {
+		m.epoch.CloseNow()
+	}
+}
+
+// invoke records the op durably, routes it, and marks it done.
+func (m *Map) invoke(tid int, op, key, val uint64) uint64 {
+	if h := m.hist; h != nil {
+		h.Begin(tid, op, key, val)
+		ret := m.invokeInner(tid, op, key, val)
+		h.End(tid, ret)
+		return ret
+	}
+	return m.invokeInner(tid, op, key, val)
+}
+
+func (m *Map) invokeInner(tid int, op, key, val uint64) uint64 {
+	sh := m.shardOf(key)
+	base := tid * m.stride
+	seq := m.sys.Load(base+sh) + 1
+	// Record first — done=0 is the last record word stored — THEN the
+	// counter: recovery reads the record whenever done==0 and repairs the
+	// counter forward from it, so no crash point leaves the counter and the
+	// record's parity misaligned.
+	m.sys.DirectStore(base+m.recOff+fsOp, op)
+	m.sys.DirectStore(base+m.recOff+fsKey, key)
+	m.sys.DirectStore(base+m.recOff+fsVal, val)
+	m.sys.DirectStore(base+m.recOff+fsShard, uint64(sh))
+	m.sys.DirectStore(base+m.recOff+fsSeq, seq)
+	m.sys.DirectStore(base+m.recOff+fsDone, 0)
+	m.sys.DirectStore(base+sh, seq)
+	ret := m.perform(tid, sh, op, key, val, seq)
+	m.sys.DirectStore(base+m.recOff+fsDone, 1)
+	return ret
+}
+
+// perform runs one durably recorded operation: in flat mode by invoking the
+// shard directly; in hierarchical mode by posting to the shard's board and
+// waiting for its combiner (self-serving after a bounded wait).
+func (m *Map) perform(tid, sh int, op, key, val, seq uint64) uint64 {
+	if m.flat {
+		return m.shards[sh].Invoke(tid, op, key, val, seq)
+	}
+	b := m.boards[sh]
+	s := &b.slots[tid]
+	s.op, s.a0, s.a1, s.seq = op, key, val, seq
+	s.status.Store(slotPosted)
+	if b.parked.Load() {
+		select {
+		case b.wake <- struct{}{}:
+		default:
+		}
+	}
+	spins := 0
+	for {
+		switch s.status.Load() {
+		case slotDone:
+			ret := s.ret
+			s.status.Store(slotEmpty)
+			return ret
+		case slotPosted:
+			if spins > selfServeSpins && s.status.CompareAndSwap(slotPosted, slotEmpty) {
+				return m.shards[sh].Invoke(tid, op, key, val, seq)
+			}
+		}
+		spins++
+		if spins&63 == 0 {
+			if m.h.Crashed() {
+				// The combiner goroutine unwound; unwind like any worker so
+				// the crash harness can finish the crash and re-open.
+				panic(pmem.CrashError{})
+			}
+			runtime.Gosched()
+		} else {
+			prim.Pause()
+		}
+	}
+}
+
+// Put maps key to val, returning the previous value and whether one existed
+// (prev==Full with ok=false reports a full shard).
+func (m *Map) Put(tid int, key, val uint64) (prev uint64, existed bool) {
+	r := m.invoke(tid, OpPut, key, val)
+	if r == NotFound || r == Full {
+		return r, false
+	}
+	return r, true
+}
+
+// Get returns the value mapped to key.
+func (m *Map) Get(tid int, key uint64) (uint64, bool) {
+	r := m.invoke(tid, OpGet, key, 0)
+	if r == NotFound {
+		return 0, false
+	}
+	return r, true
+}
+
+// Delete removes key, returning the removed value.
+func (m *Map) Delete(tid int, key uint64) (uint64, bool) {
+	r := m.invoke(tid, OpDel, key, 0)
+	if r == NotFound {
+		return 0, false
+	}
+	return r, true
+}
+
+// Add adds delta (two's complement) to key's value, inserting delta for an
+// absent key, and returns the new value.
+func (m *Map) Add(tid int, key, delta uint64) uint64 {
+	return m.invoke(tid, OpAdd, key, delta)
+}
+
+// Recover resolves thread tid's interrupted operation after a crash — re-run
+// or fetch, exactly once — and repairs tid's sequence counters. pending is
+// false when tid had nothing in flight. An interrupted cross-shard
+// transaction reports op=OpTxn and result=len(legs); use RecoverTxn for its
+// per-leg results. Call for every tid in [0, n) after re-opening.
+func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
+	if legs, ok := m.RecoverTxn(tid); ok {
+		return OpTxn, 0, uint64(len(legs)), true
+	}
+	base := tid * m.stride
+	if m.sys.Load(base+m.recOff+fsOp) == 0 || m.sys.Load(base+m.recOff+fsDone) == 1 {
+		return 0, 0, 0, false
+	}
+	op = m.sys.Load(base + m.recOff + fsOp)
+	key = m.sys.Load(base + m.recOff + fsKey)
+	val := m.sys.Load(base + m.recOff + fsVal)
+	sh := int(m.sys.Load(base + m.recOff + fsShard))
+	seq := m.sys.Load(base + m.recOff + fsSeq)
+	if m.sys.Load(base+sh) < seq {
+		// The crash hit between the record completing and the counter
+		// moving; roll the counter forward so the next op draws seq+1.
+		m.sys.DirectStore(base+sh, seq)
+	}
+	result = m.shards[sh].Recover(tid, op, key, val, seq)
+	m.sys.DirectStore(base+m.recOff+fsDone, 1)
+	if h := m.hist; h != nil {
+		h.Resolve(tid, result)
+	}
+	return op, key, result, true
+}
+
+// Len returns the number of live keys. Quiescent use only.
+func (m *Map) Len() int {
+	total := 0
+	for _, sh := range m.shards {
+		total += int(sh.CurrentState().Load(0))
+	}
+	return total
+}
+
+// Range calls f for every key/value pair. Quiescent use only.
+func (m *Map) Range(f func(key, val uint64) bool) {
+	for _, sh := range m.shards {
+		st := sh.CurrentState()
+		for i := 0; i < m.slots; i++ {
+			k := st.Load(1 + 2*i)
+			if k == 0 || k == hashmap.Tombstone {
+				continue
+			}
+			if !f(k, st.Load(1+2*i+1)) {
+				return
+			}
+		}
+	}
+}
+
+// SumValues returns the sum (mod 2^64) of all values — the conservation
+// invariant TransferAdd preserves. Quiescent use only.
+func (m *Map) SumValues() uint64 {
+	var sum uint64
+	m.Range(func(_, v uint64) bool { sum += v; return true })
+	return sum
+}

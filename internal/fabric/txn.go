@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"fmt"
+
+	"pcomb/internal/core"
+)
+
+// Leg is one operation of a cross-shard transaction.
+type Leg struct {
+	Op  uint64
+	Key uint64
+	Val uint64
+}
+
+// Txn executes legs as one atomic multi-shard transaction and returns the
+// per-leg results in leg order. The legs are grouped by shard and each group
+// runs as a single vectorized announcement under tid's slot; atomicity across
+// groups comes from the durable transaction record:
+//
+//	prepare:  txOp=0 (disarm) -> legs, groups (shard, seq, cnt) -> txDone=0
+//	commit:   txOp = txnMark | ngroups          (single-word commit point)
+//	apply:    counters move, each group InvokeVec's in first-appearance order
+//	finish:   txDone=1
+//
+// A crash before the commit word discards the transaction wholesale (no
+// shard was invoked, no counter moved); after it, Recover replays every
+// group — parity-gated, so already-applied groups fetch instead of
+// re-executing — and the transaction completes exactly once.
+//
+// Legs on the same shard must number at most VecCap; len(legs) at most
+// MaxLegs. Legs are applied in program order within a shard but groups of
+// different shards are not mutually ordered — use commuting legs (OpAdd,
+// distinct-key OpPut) for cross-shard invariants.
+func (m *Map) Txn(tid int, legs []Leg) []uint64 {
+	if len(legs) == 0 {
+		return nil
+	}
+	if len(legs) > m.maxLegs {
+		panic(fmt.Sprintf("fabric: %d legs exceed MaxLegs %d", len(legs), m.maxLegs))
+	}
+	base := tid * m.stride
+	txb := base + m.txOff
+
+	// Group legs by shard in first-appearance order, preserving program
+	// order within a shard.
+	type group struct {
+		sh   int
+		seq  uint64
+		ops  []core.VecOp
+		idxs []int
+	}
+	var groups []*group
+	byShard := make(map[int]*group, m.maxGrps)
+	for i, l := range legs {
+		sh := m.shardOf(l.Key)
+		g := byShard[sh]
+		if g == nil {
+			g = &group{sh: sh, seq: m.sys.Load(base+sh) + 1}
+			byShard[sh] = g
+			groups = append(groups, g)
+		}
+		g.ops = append(g.ops, core.VecOp{Op: l.Op, A0: l.Key, A1: l.Val})
+		g.idxs = append(g.idxs, i)
+	}
+	for _, g := range groups {
+		if len(g.ops) > m.vcap {
+			panic(fmt.Sprintf("fabric: %d legs on shard %d exceed VecCap %d", len(g.ops), g.sh, m.vcap))
+		}
+	}
+
+	if h := m.hist; h != nil {
+		// One invocation per leg, before the transaction's first persistence
+		// event: a crash anywhere inside leaves exactly these legs pending.
+		// Begins follow GROUP order — the order the legs are durably laid
+		// out and the order recovery resolves them in.
+		for _, g := range groups {
+			for _, op := range g.ops {
+				h.Begin(tid, op.Op, op.A0, op.A1)
+			}
+		}
+	}
+
+	// Prepare. Disarm the commit word first: a crash while the record is
+	// being rebuilt must read as "no transaction in flight".
+	m.sys.DirectStore(txb+txOpW, 0)
+	li := 0
+	for gi, g := range groups {
+		for _, op := range g.ops {
+			lb := base + m.legOff + 3*li
+			m.sys.DirectStore(lb, op.Op)
+			m.sys.DirectStore(lb+1, op.A0)
+			m.sys.DirectStore(lb+2, op.A1)
+			li++
+		}
+		gb := base + m.grpOff + 3*gi
+		m.sys.DirectStore(gb, uint64(g.sh))
+		m.sys.DirectStore(gb+1, g.seq)
+		m.sys.DirectStore(gb+2, uint64(len(g.ops)))
+	}
+	m.sys.DirectStore(txb+txDoneW, 0)
+
+	// Commit point: one durable word flip.
+	m.sys.DirectStore(txb+txOpW, txnMark|uint64(len(groups)))
+
+	// Apply: counters move only after the commit word, so recovery can
+	// always re-derive them from the group records.
+	for _, g := range groups {
+		m.sys.DirectStore(base+g.sh, g.seq)
+	}
+	rets := make([]uint64, len(legs))
+	tmp := make([]uint64, m.maxLegs)
+	grpRets := make([]uint64, 0, len(legs))
+	for _, g := range groups {
+		m.shards[g.sh].InvokeVec(tid, g.ops, g.seq, tmp[:len(g.ops)])
+		for i, j := range g.idxs {
+			rets[j] = tmp[i]
+		}
+		grpRets = append(grpRets, tmp[:len(g.ops)]...)
+	}
+	m.sys.DirectStore(txb+txDoneW, 1)
+	if h := m.hist; h != nil {
+		// Ends in Begin (= group) order, matching the recorder's pending
+		// queue — and only after txDone, past the last crashable point: a
+		// crash between group applications must leave EVERY leg pending, so
+		// the restarted RecoverTxn's Resolves meet an all-pending queue
+		// instead of re-completing legs an earlier pass already closed.
+		for _, r := range grpRets {
+			h.End(tid, r)
+		}
+	}
+	return rets
+}
+
+// TransferAdd atomically moves amount from key `from` to key `to` (two OpAdd
+// legs with opposite two's-complement deltas — the sum of all values mod
+// 2^64 is invariant across the transfer, crash or no crash). Returns the two
+// new values.
+func (m *Map) TransferAdd(tid int, from, to, amount uint64) (fromNew, toNew uint64) {
+	r := m.Txn(tid, []Leg{
+		{Op: OpAdd, Key: from, Val: -amount},
+		{Op: OpAdd, Key: to, Val: amount},
+	})
+	return r[0], r[1]
+}
+
+// PutAll atomically maps every key/value pair (multi-key put across shards).
+// Returns the per-pair previous values (NotFound for fresh inserts).
+func (m *Map) PutAll(tid int, pairs []Leg) []uint64 {
+	legs := make([]Leg, len(pairs))
+	for i, p := range pairs {
+		legs[i] = Leg{Op: OpPut, Key: p.Key, Val: p.Val}
+	}
+	return m.Txn(tid, legs)
+}
+
+// RecLeg is one recovered transaction leg with its result.
+type RecLeg struct {
+	Op     uint64
+	Key    uint64
+	Val    uint64
+	Result uint64
+}
+
+// RecoverTxn resolves thread tid's interrupted cross-shard transaction —
+// exactly once — and reports every leg's result in durable (group) order.
+// ok is false when no committed transaction was in flight: either none was
+// running, or the crash hit before the commit word, in which case the
+// transaction is discarded wholesale (no shard ever saw it).
+func (m *Map) RecoverTxn(tid int) (legs []RecLeg, ok bool) {
+	base := tid * m.stride
+	txb := base + m.txOff
+	txop := m.sys.Load(txb + txOpW)
+	if txop&txnMark == 0 || m.sys.Load(txb+txDoneW) == 1 {
+		return nil, false
+	}
+	ngroups := int(txop &^ txnMark)
+	li := 0
+	for gi := 0; gi < ngroups; gi++ {
+		gb := base + m.grpOff + 3*gi
+		sh := int(m.sys.Load(gb))
+		seq := m.sys.Load(gb + 1)
+		cnt := int(m.sys.Load(gb + 2))
+		if m.sys.Load(base+sh) < seq {
+			m.sys.DirectStore(base+sh, seq)
+		}
+		ops := make([]core.VecOp, cnt)
+		for i := range ops {
+			lb := base + m.legOff + 3*(li+i)
+			ops[i] = core.VecOp{Op: m.sys.Load(lb), A0: m.sys.Load(lb + 1), A1: m.sys.Load(lb + 2)}
+		}
+		rets := make([]uint64, cnt)
+		// RecoverVec is parity-gated: a group the crash already applied
+		// fetches its responses, an unapplied one re-executes — so the
+		// replay converges to exactly-once whatever the crash point.
+		m.shards[sh].RecoverVec(tid, ops, seq, rets)
+		for i := range ops {
+			legs = append(legs, RecLeg{Op: ops[i].Op, Key: ops[i].A0, Val: ops[i].A1, Result: rets[i]})
+		}
+		li += cnt
+	}
+	m.sys.DirectStore(txb+txDoneW, 1)
+	if h := m.hist; h != nil {
+		// Resolves only after txDone, past the last crashable point: if a
+		// second crash unwinds a RecoverVec above, the retried pass replays
+		// every group and must find all legs still pending (restartability —
+		// a half-resolved queue would mis-attach responses to later legs).
+		for _, l := range legs {
+			h.Resolve(tid, l.Result)
+		}
+	}
+	return legs, true
+}

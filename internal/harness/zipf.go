@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks in [0, n) with P(rank k) ∝ 1/(k+1)^s — the standard
+// hot-key workload generator (the YCSB closed-form construction). Rank 0 is
+// the hottest key. s = 0 degenerates to (near-)uniform; s = 0.99 is the
+// customary "zipfian" skew. Unlike math/rand's Zipf, s < 1 is supported —
+// that is the regime key-value workloads are modeled with.
+//
+// Construction is O(n) (one finite zeta sum); Next is O(1). The generator
+// itself holds no random state: determinism comes from the *rand.Rand the
+// caller passes, so per-thread seeded streams stay independent.
+type Zipf struct {
+	n     float64
+	theta float64
+	alpha float64 // 1/(1-theta)
+	zetan float64 // sum_{i=1..n} 1/i^theta
+	eta   float64
+	half  float64 // 0.5^theta
+}
+
+// NewZipf creates a generator over n ranks with exponent s >= 0.
+func NewZipf(n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("harness: Zipf over empty domain")
+	}
+	if s < 0 {
+		panic("harness: negative Zipf exponent")
+	}
+	// The closed form is singular at s=1 (alpha = 1/(1-s)); nudge off the
+	// pole — the resulting distribution is indistinguishable at any n that
+	// fits in memory.
+	if s == 1 {
+		s = 1 - 1e-7
+	}
+	z := &Zipf{n: float64(n), theta: s, half: math.Pow(0.5, s)}
+	for i := uint64(1); i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), s)
+	}
+	z.alpha = 1 / (1 - s)
+	zeta2 := 1 + z.half
+	z.eta = (1 - math.Pow(2/z.n, 1-s)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// Next draws one rank in [0, n) using rng's stream.
+func (z *Zipf) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	r := uint64(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= uint64(z.n) {
+		r = uint64(z.n) - 1
+	}
+	return r
+}

@@ -22,6 +22,7 @@ import (
 	"pcomb/internal/history"
 	"pcomb/internal/obs"
 	"pcomb/internal/pmem"
+	"pcomb/internal/prim"
 	"pcomb/internal/vecbatch"
 )
 
@@ -30,6 +31,12 @@ const (
 	OpPut uint64 = 1
 	OpGet uint64 = 2
 	OpDel uint64 = 3
+	// OpAdd adds A1 (two's complement, so it doubles as subtract) to the
+	// key's value, inserting the delta for an absent key, and returns the new
+	// value. Because an add changes the sum of all values by exactly its
+	// delta, a pair of opposite adds conserves the total — the primitive the
+	// fabric's cross-shard transfer transactions are built from.
+	OpAdd uint64 = 4
 )
 
 // NotFound is returned by Get/Delete for absent keys and by Put for fresh
@@ -121,21 +128,40 @@ func (o shardObj) Apply(env *core.Env, r *core.Request) {
 		} else {
 			r.Ret = NotFound
 		}
+	case OpAdd:
+		if found >= 0 {
+			v := s.Load(1+2*found+1) + r.A1
+			s.Store(1+2*found+1, v)
+			env.MarkDirty(1+2*found+1, 1)
+			r.Ret = v
+			return
+		}
+		if firstFree < 0 {
+			r.Ret = Full
+			return
+		}
+		s.Store(1+2*firstFree, key)
+		s.Store(1+2*firstFree+1, r.A1)
+		s.Store(0, s.Load(0)+1)
+		env.MarkDirty(1+2*firstFree, 2)
+		env.MarkDirty(0, 1)
+		r.Ret = r.A1
 	default:
 		r.Ret = NotFound
 	}
 }
 
-// mix is a 64-bit finalizer (splitmix64) spreading keys over shards and
-// probe starts.
-func mix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// NewShardObject returns the sequential open-addressing table object of one
+// shard with the given slot count, for callers composing their own combining
+// instances out of the map's table logic — the fabric builds its per-shard
+// instances from this.
+func NewShardObject(slots int) core.Object { return shardObj{slots: slots} }
+
+// Tombstone exposes the deleted-slot sentinel for external state scans.
+const Tombstone = tombstone
+
+// mix is prim.Mix (splitmix64), kept as a local alias for the hot paths.
+func mix(x uint64) uint64 { return prim.Mix(x) }
 
 // Map is a detectably recoverable concurrent hash map.
 type Map struct {

@@ -20,9 +20,10 @@ const (
 	KindDelMin uint64 = 2
 	KindGetMin uint64 = 3
 
-	KindPut uint64 = 1 // MapKeyModel
-	KindGet uint64 = 2
-	KindDel uint64 = 3
+	KindPut    uint64 = 1 // MapKeyModel
+	KindGet    uint64 = 2
+	KindDel    uint64 = 3
+	KindMapAdd uint64 = 4
 
 	KindWrite uint64 = 1 // RegisterModel
 )
@@ -220,8 +221,9 @@ func (RegisterModel) Key(state interface{}) string { return fmt.Sprintf("%d", st
 // when absent. KindPut (Arg2 = new value) returns the previous value
 // (EmptyOut on fresh insert, FullOut when the shard was full — accepted with
 // no effect, fullness is a cross-key property this per-key model cannot
-// judge); KindGet and KindDel return the current value or EmptyOut. Partition
-// a full-map history by Op.Arg (the key).
+// judge); KindGet and KindDel return the current value or EmptyOut; KindMapAdd
+// adds Arg2 and returns the new value. Partition a full-map history by Op.Arg
+// (the key).
 type MapKeyModel struct {
 	Initial uint64 // starting value; EmptyOut = absent
 }
@@ -253,6 +255,19 @@ func (MapKeyModel) Step(state interface{}, op Op) (interface{}, bool) {
 			return nil, false
 		}
 		return EmptyOut, true
+	case KindMapAdd:
+		// Fetch&add on the key (Arg2 = two's-complement delta, inserted as the
+		// value when the key is absent); returns the new value. Transfer legs
+		// of the fabric's cross-shard transactions record with this kind.
+		cur := uint64(0)
+		if v != EmptyOut {
+			cur = v
+		}
+		next := cur + op.Arg2
+		if !pending(op) && op.Out != next {
+			return nil, false
+		}
+		return next, true
 	}
 	return nil, false
 }

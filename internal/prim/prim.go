@@ -84,6 +84,20 @@ func Pause() {
 	runtime.Gosched()
 }
 
+// Mix is the splitmix64 64-bit finalizer: a full-avalanche mixer spreading
+// keys over shards and probe starts. It is the one key-hashing function of
+// the repository — the hash map's internal sharding and the fabric's
+// consistent-hash routing both use it, so a key's fabric shard and its probe
+// sequence stay stable across layers.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // PaddedUint64 is an atomic uint64 alone on its cache line, preventing false
 // sharing between per-thread slots.
 type PaddedUint64 struct {
