@@ -78,22 +78,72 @@ func (q *Queue) Flush(tid int) {
 	q.deqPipe.Flush(tid)
 }
 
+// Pending returns the number of staged, unflushed ops of tid (both classes).
+func (q *Queue) Pending(tid int) int {
+	if q.enqPipe == nil {
+		return 0
+	}
+	return q.enqPipe.Pending(tid) + q.deqPipe.Pending(tid)
+}
+
+// PendingEnqueues returns tid's staged enqueue count (0 when the async path
+// is disabled); PendingDequeues is its dequeue counterpart. Callers pacing
+// class switches (submitting one class flushes the other) check these.
+func (q *Queue) PendingEnqueues(tid int) int {
+	if q.enqPipe == nil {
+		return 0
+	}
+	return q.enqPipe.Pending(tid)
+}
+
+// PendingDequeues returns tid's staged dequeue count.
+func (q *Queue) PendingDequeues(tid int) int {
+	if q.deqPipe == nil {
+		return 0
+	}
+	return q.deqPipe.Pending(tid)
+}
+
 func (q *Queue) flushEnq(tid int, ops []core.VecOp, rets []uint64) {
 	vp := mustVec(q.q.EnqProtocol(), "queue")
+	h := q.q.History()
+	if h != nil {
+		// One invocation per op, in ring order, before the batch's first
+		// persistence event (mirrors the map's flushBatch recording).
+		for _, o := range ops {
+			h.Begin(tid, queue.OpEnq, o.A0, 0)
+		}
+	}
 	// Ring first, then the in-progress record: recovery may trust the ring
 	// only because the record is ordered after the ring's pfence.
 	vp.PublishVec(tid, ops)
 	seq := q.sys.begin(tid, 0, vecMark|0, uint64(len(ops)), 0)
 	vp.PerformVec(tid, len(ops), seq, rets)
 	q.sys.end(tid)
+	if h != nil {
+		for _, r := range rets[:len(ops)] {
+			h.End(tid, r)
+		}
+	}
 }
 
 func (q *Queue) flushDeq(tid int, ops []core.VecOp, rets []uint64) {
 	vp := mustVec(q.q.DeqProtocol(), "queue")
+	h := q.q.History()
+	if h != nil {
+		for range ops {
+			h.Begin(tid, queue.OpDeq, 0, 0)
+		}
+	}
 	vp.PublishVec(tid, ops)
 	seq := q.sys.begin(tid, 1, vecMark|1, uint64(len(ops)), 0)
 	vp.PerformVec(tid, len(ops), seq, rets)
 	q.sys.end(tid)
+	if h != nil {
+		for _, r := range rets[:len(ops)] {
+			h.End(tid, r)
+		}
+	}
 }
 
 // RecoverBatch resolves thread tid's interrupted batch after a crash —

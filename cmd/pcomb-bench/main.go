@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba ep sh all, or tail (open-loop)")
+		figure   = flag.String("figure", "all", "figure to run: 1a 1b 1c 2a 2b 2c 3a 3b 4 t1 ext sp bk ba ep sh all, tail (open-loop), or srv (RESP server)")
 		format   = flag.String("format", "table", "output format: table, csv, or chart")
 		ops      = flag.Uint64("ops", 200_000, "total operations per measured point")
 		threads  = flag.String("threads", "1,2,4,8,16,24,32,48,64,96", "comma-separated thread counts")
@@ -55,6 +55,9 @@ func main() {
 		serveAt  = flag.String("serve", "", "serve live telemetry on this address: Prometheus text on /metrics, plus /debug/vars and /debug/pprof (implies -metrics and span tracing)")
 		rates    = flag.String("rates", "0.1,0.2,0.4,0.8,1.6,3.2", "comma-separated offered loads (Mops/s) for -figure tail")
 		tailVcap = flag.Int("tail-vcap", 8, "async submit batch capacity for -figure tail's batch variants (<2 = scalar only)")
+		conns    = flag.Int("conns", 8, "concurrent TCP connections for -figure srv")
+		srvFlush = flag.Int("srv-flush", 16, "batched server window size for -figure srv (the naive baseline is always 1)")
+		srvRates = flag.String("srv-rates", "0.02,0.05,0.1,0.2", "comma-separated offered loads (Mops/s) for -figure srv")
 		spanCap  = flag.Int("span-cap", 0, "per-thread span-ring capacity for lifecycle tracing (0 = off, <0 = default)")
 		traceOut = flag.String("trace", "", "write per-op lifecycle spans as a Chrome/Perfetto trace to this file (enables span tracing)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -126,6 +129,15 @@ func main() {
 			os.Exit(2)
 		}
 		rateList = append(rateList, r)
+	}
+	var srvRateList []float64
+	for _, part := range strings.Split(*srvRates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			fmt.Fprintf(os.Stderr, "bad offered load %q\n", part)
+			os.Exit(2)
+		}
+		srvRateList = append(srvRateList, r)
 	}
 
 	if *cpuProf != "" {
@@ -363,6 +375,23 @@ func main() {
 				harness.PrintTailSeries(os.Stdout, title, metric, series)
 			}
 		},
+		"srv": func() {
+			// The RESP server over real TCP: batched window commit vs naive
+			// flush-per-command, open loop. Opt-in like tail (not part of
+			// "all": it binds a port and runs wall-clock seconds per point).
+			series, err := harness.FigSrv(cfg, srvRateList, *conns, *srvFlush)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figure srv: %v\n", err)
+				os.Exit(1)
+			}
+			title := fmt.Sprintf("Server srv: batched (b%d) vs naive flush-per-command, %d connections", *srvFlush, *conns)
+			for _, metric := range []string{
+				"achieved-kops", "resp-p50-ns", "resp-p99-ns",
+				"qdelay-p99-ns", "service-p99-ns", "srv-batch-mean", "pwbs/op",
+			} {
+				harness.PrintTailSeries(os.Stdout, title, metric, series)
+			}
+		},
 	}
 
 	order := []string{"1a", "1b", "1c", "2a", "2b", "2c", "3a", "3b", "4", "t1", "ext", "sp", "bk", "ba", "ep", "sh"}
@@ -377,7 +406,7 @@ func main() {
 	} else if _, ok := runs[*figure]; ok {
 		do(*figure)
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v, tail, or all)\n", *figure, order)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want one of %v, tail, srv, or all)\n", *figure, order)
 		os.Exit(2)
 	}
 

@@ -5,11 +5,11 @@ package crashtest
 import (
 	"errors"
 	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"pcomb/internal/pmem"
+	"pcomb/internal/testutil"
 )
 
 // TestMain routes re-exec'd kill children into KillChildMain before the test
@@ -27,7 +27,7 @@ func killTestConfig(t *testing.T, target string) KillConfig {
 	t.Helper()
 	return KillConfig{
 		Target:   target,
-		Path:     filepath.Join(t.TempDir(), "heap.pcomb"),
+		Path:     testutil.TempHeapPath(t),
 		Seed:     0xC0FFEE,
 		Rounds:   10,
 		Deadline: 30 * time.Second,

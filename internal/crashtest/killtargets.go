@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pcomb"
 	"pcomb/internal/fabric"
 	"pcomb/internal/hashmap"
 	lin "pcomb/internal/linearizability"
@@ -68,6 +69,16 @@ func KillTargets() []KillTargetDef {
 		// whatever the kill point (conservation audit + per-account durlin).
 		{"fabric/PBfabric", func() KillTarget { return &fabricKT{kind: fabric.Blocking, name: "fabric/PBfabric"} }},
 		{"fabric/PWFfabric", func() KillTarget { return &fabricKT{kind: fabric.WaitFree, name: "fabric/PWFfabric"} }},
+		// Durable RESP server over loopback TCP: the child runs an in-process
+		// server plus one pipelining client per thread; every command is
+		// journaled client-side, so the verifier holds the whole stack —
+		// parser, batch scheduler, combining pipe, recovery-on-start — to
+		// durable linearizability across real SIGKILLs.
+		{"srv/PBsrv", func() KillTarget { return &srvKT{kind: pcomb.Blocking, name: "srv/PBsrv"} }},
+		{"srv/PWFsrv", func() KillTarget { return &srvKT{kind: pcomb.WaitFree, name: "srv/PWFsrv"} }},
+		{"srv/PBsrv-epoch", func() KillTarget {
+			return &srvKT{kind: pcomb.Blocking, epoch: true, name: "srv/PBsrv-epoch"}
+		}},
 	}
 }
 

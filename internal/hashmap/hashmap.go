@@ -419,6 +419,13 @@ func (m *Map) Delete(tid int, key uint64) (uint64, bool) {
 	return r, true
 }
 
+// Add adds delta (two's complement, so it doubles as subtract) to key's
+// value, inserting delta on a fresh key, and returns the NEW value (or Full
+// when the shard had no room) — the map's fetch&add.
+func (m *Map) Add(tid int, key, delta uint64) uint64 {
+	return m.invoke(tid, OpAdd, key, delta)
+}
+
 // Recover resolves thread tid's interrupted operation after a crash: it
 // re-runs it or fetches its response — exactly once. pending is false when
 // tid had no operation in flight. An interrupted vectorized sub-batch is
@@ -589,6 +596,12 @@ func (m *Map) SubmitGet(tid int, key uint64) vecbatch.Future {
 // SubmitDelete stages a Delete (requires VecCap > 1).
 func (m *Map) SubmitDelete(tid int, key uint64) vecbatch.Future {
 	return m.pipe.Submit(tid, core.VecOp{Op: OpDel, A0: key})
+}
+
+// SubmitAdd stages an Add (requires VecCap > 1); the Future's Wait returns
+// the new value, as Add.
+func (m *Map) SubmitAdd(tid int, key, delta uint64) vecbatch.Future {
+	return m.pipe.Submit(tid, core.VecOp{Op: OpAdd, A0: key, A1: delta})
 }
 
 // Flush commits tid's staged operations. Ops are grouped by shard and each

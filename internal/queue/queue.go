@@ -312,6 +312,11 @@ func (q *Queue) SetHistory(h *history.Recorder) {
 	q.hist = h
 }
 
+// History returns the installed recorder (nil when none). The wrapper's
+// vectorized flush paths record their per-op events through it, since they
+// bypass Enqueue/Dequeue.
+func (q *Queue) History() *history.Recorder { return q.hist }
+
 // SetCombTracker installs combining-level instrumentation on both the
 // enqueue and dequeue combining instances (they share one sink, so reported
 // rounds/degrees cover the whole queue).

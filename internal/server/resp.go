@@ -1,0 +1,262 @@
+// Package server is a durable RESP2 front end for the combining structures:
+// each connection goroutine stages commands into the async Submit/Flush
+// pipeline (vecbatch) over a file-backed map/queue and a flush policy
+// commits the staged vector at a size cap or a deadline, so the per-op
+// persistence cost is paid once per batch — the paper's combining argument
+// applied to a server's per-connection write path.
+//
+// This file is the wire protocol: a bounded RESP2 command reader (arrays of
+// bulk strings plus the inline form) and the reply writers. Malformed input
+// splits into two classes: recoverable command errors (unknown command, bad
+// arity, non-numeric argument) get a -ERR reply and the connection
+// continues, while framing errors (bad type byte, oversized or negative
+// lengths, truncated frames) are ErrProtocol — after those the byte stream
+// has no trustworthy resynchronization point, so the server replies -ERR
+// and closes, exactly like Redis.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Frame bounds. RESP has no framing beyond the declared lengths, so both
+// must be capped before allocation or the peer controls our memory.
+const (
+	// MaxArgs bounds the element count of a command array.
+	MaxArgs = 128
+	// MaxArgBytes bounds a single bulk-string argument.
+	MaxArgBytes = 512 * 1024
+	// maxInlineBytes bounds one inline-command line.
+	maxInlineBytes = 64 * 1024
+)
+
+// ErrProtocol marks unrecoverable framing errors; the connection must be
+// closed after reporting it.
+var ErrProtocol = errors.New("protocol error")
+
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// Command is one decoded client command. Name is upper-cased; Args holds
+// the remaining arguments (aliased into per-command buffers, valid until
+// the next ReadCommand on the same reader's connection).
+type Command struct {
+	Name string
+	Args [][]byte
+}
+
+// ReadCommand decodes the next command from br: either a RESP array of bulk
+// strings (`*N\r\n` then N × `$len\r\n<bytes>\r\n`) or an inline command
+// (space-separated words on one line). Empty inline lines and empty arrays
+// are skipped. Any non-nil error besides io.EOF wraps ErrProtocol or the
+// underlying I/O failure; the caller should close the connection.
+func ReadCommand(br *bufio.Reader) (Command, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return Command{}, err
+		}
+		if b != '*' {
+			if err := br.UnreadByte(); err != nil {
+				return Command{}, err
+			}
+			cmd, err := readInline(br)
+			if err != nil || cmd.Name != "" {
+				return cmd, err
+			}
+			continue // blank inline line
+		}
+		n, err := readLineInt(br)
+		if err != nil {
+			return Command{}, err
+		}
+		if n < 0 || n > MaxArgs {
+			return Command{}, protoErrf("invalid multibulk length %d", n)
+		}
+		if n == 0 {
+			continue // empty array: no command, keep reading
+		}
+		args := make([][]byte, 0, n)
+		for i := int64(0); i < n; i++ {
+			arg, err := readBulk(br)
+			if err != nil {
+				return Command{}, err
+			}
+			args = append(args, arg)
+		}
+		return command(args), nil
+	}
+}
+
+// readBulk decodes one `$len\r\n<bytes>\r\n` frame.
+func readBulk(br *bufio.Reader) ([]byte, error) {
+	b, err := br.ReadByte()
+	if err != nil {
+		return nil, eofIsProto(err)
+	}
+	if b != '$' {
+		return nil, protoErrf("expected '$', got %q", b)
+	}
+	n, err := readLineInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || n > MaxArgBytes {
+		return nil, protoErrf("invalid bulk length %d", n)
+	}
+	buf := make([]byte, n+2)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, eofIsProto(err)
+	}
+	if buf[n] != '\r' || buf[n+1] != '\n' {
+		return nil, protoErrf("bulk string not CRLF-terminated")
+	}
+	return buf[:n], nil
+}
+
+// readLineInt reads a CRLF-terminated decimal integer (the length part of a
+// `*`/`$` header, whose type byte the caller already consumed).
+func readLineInt(br *bufio.Reader) (int64, error) {
+	line, err := readLine(br, 32)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(string(line), 10, 64)
+	if err != nil {
+		return 0, protoErrf("bad length %q", line)
+	}
+	return n, nil
+}
+
+// readLine reads up to CRLF, rejecting bare CR/LF and lines above max.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, eofIsProto(err)
+		}
+		if b == '\n' {
+			return nil, protoErrf("bare LF in header")
+		}
+		if b == '\r' {
+			nb, err := br.ReadByte()
+			if err != nil {
+				return nil, eofIsProto(err)
+			}
+			if nb != '\n' {
+				return nil, protoErrf("bare CR in header")
+			}
+			return line, nil
+		}
+		if len(line) >= max {
+			return nil, protoErrf("header line too long")
+		}
+		line = append(line, b)
+	}
+}
+
+// readInline decodes one inline command line. A blank line returns an empty
+// Command (the caller skips it).
+func readInline(br *bufio.Reader) (Command, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) || len(line) > maxInlineBytes {
+			return Command{}, protoErrf("inline command too long")
+		}
+		return Command{}, eofIsProto(err)
+	}
+	line = trimCRLF(line)
+	var args [][]byte
+	for i := 0; i < len(line); {
+		for i < len(line) && line[i] == ' ' {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' {
+			i++
+		}
+		if i > start {
+			if len(args) >= MaxArgs {
+				return Command{}, protoErrf("inline command has too many arguments")
+			}
+			// Copy: ReadSlice's buffer is invalidated by the next read.
+			args = append(args, append([]byte(nil), line[start:i]...))
+		}
+	}
+	if len(args) == 0 {
+		return Command{}, nil
+	}
+	return command(args), nil
+}
+
+func trimCRLF(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+func command(args [][]byte) Command {
+	name := args[0]
+	up := make([]byte, len(name))
+	for i, c := range name {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		up[i] = c
+	}
+	return Command{Name: string(up), Args: args[1:]}
+}
+
+// eofIsProto upgrades an EOF inside a frame to a protocol error: the stream
+// ended mid-command, which is a truncated frame, not a clean close.
+func eofIsProto(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return protoErrf("truncated frame")
+	}
+	return err
+}
+
+// ---- Reply writers ----
+
+func writeSimple(bw *bufio.Writer, s string) {
+	bw.WriteByte('+')
+	bw.WriteString(s)
+	bw.WriteString("\r\n")
+}
+
+func writeError(bw *bufio.Writer, msg string) {
+	bw.WriteString("-ERR ")
+	bw.WriteString(msg)
+	bw.WriteString("\r\n")
+}
+
+func writeInt(bw *bufio.Writer, v uint64) {
+	bw.WriteByte(':')
+	bw.Write(strconv.AppendUint(nil, v, 10))
+	bw.WriteString("\r\n")
+}
+
+// writeBulkUint writes a uint64 as a bulk-string decimal (values are uint64
+// words; clients see them as Redis string values).
+func writeBulkUint(bw *bufio.Writer, v uint64) {
+	d := strconv.AppendUint(nil, v, 10)
+	bw.WriteByte('$')
+	bw.Write(strconv.AppendInt(nil, int64(len(d)), 10))
+	bw.WriteString("\r\n")
+	bw.Write(d)
+	bw.WriteString("\r\n")
+}
+
+func writeNull(bw *bufio.Writer) {
+	bw.WriteString("$-1\r\n")
+}

@@ -72,6 +72,11 @@ func (m *Map) Get(tid int, key uint64) (uint64, bool) { return m.m.Get(tid, key)
 // Delete removes key, returning the removed value.
 func (m *Map) Delete(tid int, key uint64) (uint64, bool) { return m.m.Delete(tid, key) }
 
+// Add adds delta (two's complement, so negative deltas subtract) to key's
+// value, inserting delta for a fresh key, and returns the new value — the
+// map's fetch&add (Full when the shard had no room).
+func (m *Map) Add(tid int, key, delta uint64) uint64 { return m.m.Add(tid, key, delta) }
+
 // Recover resolves thread tid's interrupted operation exactly once.
 func (m *Map) Recover(tid int) (op, key, result uint64, pending bool) {
 	return m.m.Recover(tid)
@@ -118,6 +123,10 @@ func (m *Map) SubmitGet(tid int, key uint64) Future { return m.m.SubmitGet(tid, 
 
 // SubmitDelete stages a Delete (requires MapOptions.VecCap > 1).
 func (m *Map) SubmitDelete(tid int, key uint64) Future { return m.m.SubmitDelete(tid, key) }
+
+// SubmitAdd stages an Add (requires MapOptions.VecCap > 1); the Future's
+// Wait returns the new value.
+func (m *Map) SubmitAdd(tid int, key, delta uint64) Future { return m.m.SubmitAdd(tid, key, delta) }
 
 // Flush commits thread tid's staged operations durably. Ops are grouped by
 // shard; each group is one vectorized announcement, and groups commit one at
